@@ -1,0 +1,89 @@
+// Ablation A1: rounding schemes. Compares the paper's randomized rounding
+// against always-floor [Sauerwald-Sun], round-to-nearest, per-edge
+// Bernoulli [Friedrich et al.], and the stateful cumulative baseline [2]
+// on the torus: remaining imbalance and deviation from the idealized run.
+#include <iomanip>
+
+#include "bench_common.hpp"
+
+using namespace dlb;
+
+int main(int argc, char** argv)
+{
+    const cli_args args(argc, argv);
+    bench::bench_context ctx(args);
+
+    const node_id side = static_cast<node_id>(
+        args.get_int("side", ctx.full ? 316 : 64));
+    const auto rounds = ctx.rounds_or(ctx.full ? 4000 : 2000);
+    const graph g = make_torus_2d(side, side);
+    const double beta = beta_opt(torus_2d_lambda(side, side));
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 1000LL);
+
+    bench::banner("Ablation A1: rounding schemes, torus " +
+                      std::to_string(side) + "^2 (SOS then FOS at half-time)",
+                  "cumulative [2] beats stateless schemes on deviation (O(d)); "
+                  "randomized beats floor on remaining imbalance");
+
+    std::cout << "  " << std::left << std::setw(16) << "scheme"
+              << std::setw(16) << "final max-avg" << std::setw(16)
+              << "final local" << std::setw(18) << "max twin deviation"
+              << "\n";
+
+    struct result {
+        std::string name;
+        double imbalance;
+        double deviation;
+    };
+    std::vector<result> results;
+
+    for (const auto rounding :
+         {rounding_kind::randomized, rounding_kind::floor, rounding_kind::nearest,
+          rounding_kind::bernoulli_edge}) {
+        auto config = bench::make_experiment(g, sos_scheme(beta), ctx);
+        config.rounds = rounds;
+        config.rounding = rounding;
+        config.switching = switch_policy::at(rounds / 2);
+        config.run_continuous_twin = true;
+        config.record_every = std::max<std::int64_t>(1, rounds / 100);
+        const auto series = run_experiment(config, initial);
+        const double worst_deviation =
+            *std::max_element(series.deviation_from_twin.begin(),
+                              series.deviation_from_twin.end());
+        std::cout << "  " << std::left << std::setw(16) << to_string(rounding)
+                  << std::setw(16) << series.max_minus_average.back()
+                  << std::setw(16) << series.max_local_difference.back()
+                  << std::setw(18) << worst_deviation << "\n";
+        ctx.maybe_csv("ablation_rounding_" + std::string(to_string(rounding)),
+                      series);
+        results.push_back({std::string(to_string(rounding)),
+                           series.max_minus_average.back(), worst_deviation});
+    }
+
+    // Cumulative baseline [2].
+    {
+        auto config = bench::make_experiment(g, sos_scheme(beta), ctx);
+        config.rounds = rounds;
+        config.process = process_kind::cumulative;
+        config.switching = switch_policy::at(rounds / 2);
+        config.record_every = std::max<std::int64_t>(1, rounds / 100);
+        const auto series = run_experiment(config, initial);
+        std::cout << "  " << std::left << std::setw(16) << "cumulative[2]"
+                  << std::setw(16) << series.max_minus_average.back()
+                  << std::setw(16) << series.max_local_difference.back()
+                  << std::setw(18) << "<= d/2 = 2 (by construction)" << "\n";
+        ctx.maybe_csv("ablation_rounding_cumulative", series);
+        results.push_back(
+            {"cumulative", series.max_minus_average.back(), 2.0});
+    }
+
+    const auto& randomized = results[0];
+    const auto& floor_r = results[1];
+    const auto& cumulative = results.back();
+    bench::verdict(cumulative.imbalance <= randomized.imbalance + 1.0 &&
+                       randomized.deviation <= floor_r.deviation + 5.0,
+                   "cumulative baseline achieves the tightest balance (O(d) "
+                   "deviation) at the cost of statefulness; the stateless "
+                   "randomized scheme is competitive and unbiased");
+    return 0;
+}

@@ -1,0 +1,78 @@
+// Figure 7: impact of the eigenvectors on the load, 100x100 torus.
+// Left plot: max_i |a_i| and a_4 over rounds — the paper observes the
+// leading coefficient IS a_4 (the slowest non-constant eigenspace) from
+// ~round 100 to ~700. Right plot: the leading coefficient's rank per round;
+// after ~700 rounds no single eigenvector leads.
+#include <iomanip>
+
+#include "bench_common.hpp"
+
+using namespace dlb;
+
+int main(int argc, char** argv)
+{
+    const cli_args args(argc, argv);
+    bench::bench_context ctx(args);
+
+    const node_id side = static_cast<node_id>(args.get_int("side", 100));
+    const auto rounds = ctx.rounds_or(1000);
+    const graph g = make_torus_2d(side, side);
+    const double beta = beta_opt(torus_2d_lambda(side, side));
+
+    bench::banner("Figure 7: eigenvector impact, torus " +
+                      std::to_string(side) + "^2",
+                  "a_4 (slowest eigenspace) leads rounds ~100-700, no leader "
+                  "after");
+
+    const diffusion_config config{
+        &g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(g.num_nodes()), sos_scheme(beta)};
+    discrete_process proc(config,
+                          point_load(g.num_nodes(), 0, g.num_nodes() * 1000LL),
+                          rounding_kind::randomized, ctx.seed,
+                          negative_load_policy::allow, &ctx.pool);
+    const auto analyzer = eigen_impact_analyzer::for_torus(side, side);
+
+    std::int64_t lead_start = -1, lead_end = -1;
+    double last_max = 0.0;
+    const std::int64_t stride = std::max<std::int64_t>(1, rounds / 500);
+    std::unique_ptr<csv_writer> csv;
+    if (!ctx.csv_dir.empty())
+        csv = std::make_unique<csv_writer>(
+            ctx.csv_dir + "/fig07_eigen_impact.csv",
+            std::vector<std::string>{"round", "max_abs_coeff", "leading_rank",
+                                     "a4"});
+
+    for (std::int64_t t = 1; t <= rounds; ++t) {
+        proc.step();
+        if (t % stride != 0) continue;
+        const auto sample = analyzer.analyze(proc.load());
+        last_max = sample.max_abs_coefficient;
+        // "a_4 leads": the leading coefficient sits in the slowest
+        // eigenspace (ranks 1..4; ties are basis-convention artifacts) and
+        // is clearly above the rounding noise.
+        const bool leads =
+            sample.leading_rank <= 4 && sample.max_abs_coefficient > 30.0;
+        if (leads && lead_start < 0) lead_start = t;
+        if (leads) lead_end = t;
+        if (csv)
+            csv->row_numeric({static_cast<double>(t), sample.max_abs_coefficient,
+                              static_cast<double>(sample.leading_rank),
+                              sample.a4});
+        if (t % (rounds / 10) == 0)
+            std::cout << "  round " << std::setw(5) << t << ": max|a_i| = "
+                      << std::setw(12) << sample.max_abs_coefficient
+                      << " leading rank = " << std::setw(4)
+                      << sample.leading_rank << "  a4 = " << sample.a4 << "\n";
+    }
+
+    bench::compare_row("a_4-led window start (paper ~100)", 100.0,
+                       static_cast<double>(lead_start));
+    bench::compare_row("a_4-led window end (paper ~700)", 700.0,
+                       static_cast<double>(lead_end));
+    bench::verdict(lead_start > 0 && lead_end > lead_start &&
+                       last_max < 50.0,
+                   "slowest eigenspace leads during a mid-run window, then "
+                   "the impact decays into rounding noise");
+    return 0;
+}

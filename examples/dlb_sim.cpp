@@ -1,0 +1,257 @@
+// dlb_sim — the full command-line simulator (the paper's "highly
+// modularized" simulation tool): pick a graph family, scheme, rounding,
+// speeds, switching policy and outputs from one command line.
+//
+// Examples:
+//   ./dlb_sim --graph torus:100x100 --scheme sos --rounds 3000
+//   ./dlb_sim --graph hypercube:16 --scheme fos --rounding floor
+//   ./dlb_sim --graph cm:65536,16 --scheme sos --switch-at 12
+//   ./dlb_sim --graph rgg:10000 --scheme chebyshev --switch-local 10 \
+//             --csv run.csv --threads 8
+//   ./dlb_sim --graph torus:200x200 --frames out/ --frame-every 50
+//   ./dlb_sim --graph torus:32x32 --speeds bimodal:0.25,4 --scheme sos
+#include <cmath>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "dlb.hpp"
+
+namespace {
+
+using namespace dlb;
+
+[[noreturn]] void usage(const std::string& error = "")
+{
+    if (!error.empty()) std::cerr << "error: " << error << "\n\n";
+    std::cerr <<
+        "dlb_sim — discrete diffusion load balancing simulator\n"
+        "\n"
+        "  --graph SPEC       torus:WxH | hypercube:DIM | cm:N,D | rgg:N |\n"
+        "                     cycle:N | complete:N | grid:WxH  (default torus:100x100)\n"
+        "  --scheme S         fos | sos | chebyshev | matching (default sos)\n"
+        "  --beta B           SOS beta override (default beta_opt(lambda))\n"
+        "  --rounding R       randomized | floor | nearest | bernoulli |\n"
+        "                     continuous | cumulative (default randomized)\n"
+        "  --speeds SPEC      uniform | bimodal:FRACTION,SPEED | zipf:EXP,SMAX\n"
+        "  --load L           initial tokens per node, placed on node 0 (default 1000)\n"
+        "  --rounds T         (default 2000)     --seed S (default 42)\n"
+        "  --switch-at R      switch SOS->FOS at round R\n"
+        "  --switch-local X   switch when the max local difference <= X\n"
+        "  --record-every K   metric cadence (default 10)\n"
+        "  --csv FILE         write the time series as CSV\n"
+        "  --frames DIR       write PGM frames (torus only)\n"
+        "  --frame-every K    frame cadence (default 100)\n"
+        "  --threads N        worker threads (default hardware)\n";
+    std::exit(2);
+}
+
+std::pair<std::string, std::string> split_spec(const std::string& spec)
+{
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos) return {spec, ""};
+    return {spec.substr(0, colon), spec.substr(colon + 1)};
+}
+
+std::vector<std::int64_t> parse_numbers(const std::string& text)
+{
+    // Accepts both "WxH" and "N,D" forms.
+    const char delimiter = text.find('x') != std::string::npos ? 'x' : ',';
+    std::vector<std::int64_t> out;
+    std::stringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, delimiter))
+        out.push_back(std::stoll(token));
+    return out;
+}
+
+struct graph_choice {
+    graph g;
+    double lambda = -1.0; // analytic when >= 0
+    node_id torus_width = 0, torus_height = 0;
+};
+
+graph_choice build_graph(const std::string& spec, std::uint64_t seed)
+{
+    const auto [family, params] = split_spec(spec);
+    graph_choice choice;
+    if (family == "torus") {
+        const auto dims = parse_numbers(params.empty() ? "100x100" : params);
+        if (dims.size() != 2) usage("torus needs WxH");
+        choice.torus_width = static_cast<node_id>(dims[0]);
+        choice.torus_height = static_cast<node_id>(dims[1]);
+        choice.g = make_torus_2d(choice.torus_width, choice.torus_height);
+        choice.lambda = torus_2d_lambda(choice.torus_width, choice.torus_height);
+    } else if (family == "hypercube") {
+        const int dim = params.empty() ? 10 : std::stoi(params);
+        choice.g = make_hypercube(dim);
+        choice.lambda = hypercube_lambda(dim);
+    } else if (family == "cm") {
+        const auto nums = parse_numbers(params);
+        if (nums.size() != 2) usage("cm needs N,D");
+        choice.g = make_random_regular_cm(static_cast<node_id>(nums[0]),
+                                          static_cast<std::int32_t>(nums[1]), seed);
+    } else if (family == "rgg") {
+        const node_id n = params.empty() ? 10000 : static_cast<node_id>(std::stoll(params));
+        choice.g = make_random_geometric(n, rgg_paper_radius(n), seed);
+    } else if (family == "cycle") {
+        const node_id n = static_cast<node_id>(std::stoll(params));
+        choice.g = make_cycle(n);
+        choice.lambda = cycle_lambda(n);
+    } else if (family == "complete") {
+        const node_id n = static_cast<node_id>(std::stoll(params));
+        choice.g = make_complete(n);
+        choice.lambda = complete_lambda(n);
+    } else if (family == "grid") {
+        const auto dims = parse_numbers(params);
+        if (dims.size() != 2) usage("grid needs WxH");
+        choice.g = make_grid_2d(static_cast<node_id>(dims[0]),
+                                static_cast<node_id>(dims[1]));
+    } else {
+        usage("unknown graph family '" + family + "'");
+    }
+    return choice;
+}
+
+speed_profile build_speeds(const std::string& spec, node_id n, std::uint64_t seed)
+{
+    if (spec.empty() || spec == "uniform") return speed_profile::uniform(n);
+    const auto [kind, params] = split_spec(spec);
+    std::stringstream stream(params);
+    std::string a, b;
+    std::getline(stream, a, ',');
+    std::getline(stream, b, ',');
+    if (kind == "bimodal")
+        return speed_profile::bimodal(n, std::stod(a), std::stod(b), seed);
+    if (kind == "zipf")
+        return speed_profile::zipf(n, std::stod(a), std::stod(b), seed);
+    usage("unknown speeds '" + spec + "'");
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const cli_args args(argc, argv);
+    if (args.has("help")) usage();
+
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    const auto rounds = args.get_int("rounds", 2000);
+    const auto per_node = args.get_int("load", 1000);
+    const std::string scheme_name = args.get_string("scheme", "sos");
+    const std::string rounding_name = args.get_string("rounding", "randomized");
+
+    auto choice = build_graph(args.get_string("graph", "torus:100x100"), seed);
+    const graph& g = choice.g;
+    const auto speeds = build_speeds(args.get_string("speeds", "uniform"),
+                                     g.num_nodes(), seed);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    std::cout << "graph: " << g.num_nodes() << " nodes, " << g.num_edges()
+              << " edges, degree [" << g.min_degree() << ", " << g.max_degree()
+              << "]\n";
+
+    double lambda = choice.lambda;
+    if ((lambda < 0.0 || !speeds.is_uniform()) && scheme_name != "fos" &&
+        scheme_name != "matching") {
+        std::cout << "computing lambda via Lanczos...\n";
+        lambda = compute_lambda(g, alpha, speeds);
+    }
+
+    thread_pool pool(static_cast<unsigned>(args.get_int("threads", 0)));
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * per_node);
+
+    // The matching circuit has its own engine.
+    if (scheme_name == "matching") {
+        matching_process proc(g, initial, seed);
+        for (std::int64_t t = 1; t <= rounds; ++t) {
+            proc.step();
+            if (t % std::max<std::int64_t>(1, rounds / 10) == 0)
+                std::cout << "round " << t
+                          << ": max-avg = " << max_minus_average(proc.load())
+                          << "\n";
+        }
+        std::cout << "conserved: " << (proc.verify_conservation() ? "yes" : "NO")
+                  << "\n";
+        return 0;
+    }
+
+    scheme_params scheme;
+    if (scheme_name == "fos") {
+        scheme = fos_scheme();
+    } else if (scheme_name == "sos") {
+        scheme = sos_scheme(args.get_double("beta", beta_opt(lambda)));
+    } else if (scheme_name == "chebyshev") {
+        scheme = chebyshev_scheme(lambda);
+    } else {
+        usage("unknown scheme '" + scheme_name + "'");
+    }
+    if (lambda >= 0.0)
+        std::cout << "lambda = " << lambda << ", effective beta -> "
+                  << scheme_beta_for_round(scheme, 1000000) << "\n";
+
+    experiment_config config;
+    config.diffusion = {&g, alpha, speeds, scheme};
+    config.rounds = rounds;
+    config.seed = seed;
+    config.exec = &pool;
+    config.record_every = args.get_int("record-every", 10);
+    if (rounding_name == "randomized")
+        config.rounding = rounding_kind::randomized;
+    else if (rounding_name == "floor")
+        config.rounding = rounding_kind::floor;
+    else if (rounding_name == "nearest")
+        config.rounding = rounding_kind::nearest;
+    else if (rounding_name == "bernoulli")
+        config.rounding = rounding_kind::bernoulli_edge;
+    else if (rounding_name == "continuous")
+        config.process = process_kind::continuous;
+    else if (rounding_name == "cumulative")
+        config.process = process_kind::cumulative;
+    else
+        usage("unknown rounding '" + rounding_name + "'");
+
+    if (args.has("switch-at"))
+        config.switching = switch_policy::at(args.get_int("switch-at", 0));
+    else if (args.has("switch-local"))
+        config.switching =
+            switch_policy::when_local_below(args.get_double("switch-local", 10.0));
+
+    // Frame rendering requires the discrete engine on a torus; drive the
+    // engine manually in that mode.
+    const std::string frames_dir = args.get_string("frames", "");
+    if (!frames_dir.empty()) {
+        if (choice.torus_width == 0) usage("--frames requires a torus graph");
+        if (config.process != process_kind::discrete)
+            usage("--frames requires a discrete rounding mode");
+        std::filesystem::create_directories(frames_dir);
+        const auto frame_every = args.get_int("frame-every", 100);
+        discrete_process proc(config.diffusion, initial, config.rounding, seed,
+                              negative_load_policy::allow, &pool);
+        hybrid_controller hybrid(config.switching);
+        for (std::int64_t t = 1; t <= rounds; ++t) {
+            if (hybrid.should_switch(t - 1,
+                                     max_local_difference(g, proc.load()),
+                                     max_minus_average(proc.load())))
+                proc.set_scheme(fos_scheme());
+            proc.step();
+            if (t % frame_every == 0)
+                write_torus_load_pgm(frames_dir + "/round_" + std::to_string(t) +
+                                         ".pgm",
+                                     choice.torus_width, choice.torus_height,
+                                     proc.load());
+        }
+        std::cout << "frames written to " << frames_dir << "/\n";
+        return 0;
+    }
+
+    const auto series = run_experiment(config, initial);
+    print_summary(std::cout, scheme_name + " / " + rounding_name, series);
+    print_series(std::cout, "max-avg", series, &time_series::max_minus_average);
+    print_series(std::cout, "local diff", series,
+                 &time_series::max_local_difference);
+    if (args.has("csv")) {
+        write_csv(args.get_string("csv", "dlb_sim.csv"), series);
+        std::cout << "csv -> " << args.get_string("csv", "dlb_sim.csv") << "\n";
+    }
+    return 0;
+}

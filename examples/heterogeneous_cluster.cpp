@@ -1,0 +1,68 @@
+// Heterogeneous cluster scenario: a two-tier machine park (a fraction of
+// fast nodes among slow ones) balancing load proportionally to speed
+// (paper Section II-c / IV).
+//
+//   ./heterogeneous_cluster [--nodes N] [--fast-fraction F] [--fast-speed S]
+#include <iomanip>
+#include <iostream>
+
+#include "dlb.hpp"
+
+int main(int argc, char** argv)
+{
+    const dlb::cli_args args(argc, argv);
+    const auto side = static_cast<dlb::node_id>(args.get_int("side", 32));
+    const double fast_fraction = args.get_double("fast-fraction", 0.25);
+    const double fast_speed = args.get_double("fast-speed", 4.0);
+    const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+
+    const dlb::graph network = dlb::make_torus_2d(side, side);
+    const auto speeds = dlb::speed_profile::bimodal(network.num_nodes(),
+                                                    fast_fraction, fast_speed, seed);
+    const auto alpha =
+        dlb::make_alpha(network, dlb::alpha_policy::max_degree_plus_one);
+
+    // Heterogeneous lambda requires the symmetrized operator; computed via
+    // Lanczos with the sqrt(s) eigenvector deflated.
+    const double lambda = dlb::compute_lambda(network, alpha, speeds);
+    const double beta = dlb::beta_opt(lambda);
+    std::cout << "cluster: " << network.num_nodes() << " nodes, "
+              << fast_fraction * 100 << "% at speed " << fast_speed
+              << "; lambda = " << lambda << ", beta_opt = " << beta << "\n";
+
+    dlb::experiment_config config;
+    config.diffusion = {&network, alpha, speeds, dlb::sos_scheme(beta)};
+    config.rounds = args.get_int("rounds", 3000);
+    config.switching = dlb::switch_policy::when_local_below(8.0);
+    config.record_every = 50;
+
+    const std::int64_t total = network.num_nodes() * 1000LL;
+    const auto outcome = dlb::run_experiment_with_final_load(
+        config, dlb::point_load(network.num_nodes(), 0, total));
+
+    dlb::print_summary(std::cout, "heterogeneous run", outcome.series);
+
+    // How close is every node to its speed-proportional share?
+    const auto ideal = speeds.ideal_load(static_cast<double>(total));
+    double worst = 0.0;
+    double fast_sum = 0.0, slow_sum = 0.0;
+    std::int64_t fast_count = 0;
+    for (dlb::node_id v = 0; v < network.num_nodes(); ++v) {
+        worst = std::max(worst,
+                         std::abs(static_cast<double>(outcome.final_load[v]) -
+                                  ideal[v]));
+        if (speeds.speed(v) > 1.0) {
+            fast_sum += static_cast<double>(outcome.final_load[v]);
+            ++fast_count;
+        } else {
+            slow_sum += static_cast<double>(outcome.final_load[v]);
+        }
+    }
+    std::cout << std::fixed << std::setprecision(1)
+              << "avg load  fast node: " << fast_sum / fast_count
+              << "   slow node: "
+              << slow_sum / (network.num_nodes() - fast_count)
+              << "   (ideal ratio " << fast_speed << ":1)\n"
+              << "worst |load - ideal| = " << worst << " tokens\n";
+    return 0;
+}

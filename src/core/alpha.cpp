@@ -1,0 +1,49 @@
+#include "core/alpha.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dlb {
+
+std::vector<double> make_alpha(const graph& g, alpha_policy policy, double gamma)
+{
+    std::vector<double> alpha(static_cast<std::size_t>(g.num_half_edges()));
+    switch (policy) {
+    case alpha_policy::max_degree_plus_one:
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            const auto dv = g.degree(v);
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+                const auto du = g.degree(g.head(h));
+                alpha[h] = 1.0 / (std::max(dv, du) + 1.0);
+            }
+        }
+        break;
+    case alpha_policy::uniform_gamma_d: {
+        if (gamma <= 1.0)
+            throw std::invalid_argument("make_alpha: gamma must be > 1");
+        const double value = 1.0 / (gamma * g.max_degree());
+        std::fill(alpha.begin(), alpha.end(), value);
+        break;
+    }
+    }
+    return alpha;
+}
+
+bool alpha_is_valid(const graph& g, const std::vector<double>& alpha,
+                    double tolerance)
+{
+    if (alpha.size() != static_cast<std::size_t>(g.num_half_edges())) return false;
+    for (half_edge_id h = 0; h < g.num_half_edges(); ++h) {
+        if (!(alpha[h] > 0.0)) return false;
+        if (alpha[h] != alpha[g.twin(h)]) return false;
+    }
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+        double sum = 0.0;
+        for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h)
+            sum += alpha[h];
+        if (sum > 1.0 + tolerance) return false;
+    }
+    return true;
+}
+
+} // namespace dlb

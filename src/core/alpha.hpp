@@ -1,0 +1,34 @@
+// alpha_ij edge diffusion parameters (paper Section II).
+//
+// The paper's default is alpha_ij = 1/(max(d_i, d_j) + 1); Observation 3
+// additionally covers alpha_ij = 1/(gamma * d) with d the maximum degree.
+// Weights are stored per half-edge and are symmetric by construction.
+#ifndef DLB_CORE_ALPHA_HPP
+#define DLB_CORE_ALPHA_HPP
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+enum class alpha_policy {
+    max_degree_plus_one, // 1 / (max(d_i, d_j) + 1)  — paper default
+    uniform_gamma_d,     // 1 / (gamma * max_degree) — Observation 3
+};
+
+/// Builds per-half-edge alpha weights. For uniform_gamma_d, `gamma` must
+/// be > 1 so that the diagonal 1 - d_i/(gamma d) stays positive
+/// (gamma = 2 gives the lazy random walk); the paper uses gamma > 1 to
+/// keep |lambda| < 1 on bipartite graphs.
+std::vector<double> make_alpha(const graph& g, alpha_policy policy,
+                               double gamma = 2.0);
+
+/// Validity check: every alpha positive and sum_j alpha_ij < 1 + tolerance
+/// for every node (needed for a nonnegative diffusion-matrix diagonal).
+bool alpha_is_valid(const graph& g, const std::vector<double>& alpha,
+                    double tolerance = 1e-12);
+
+} // namespace dlb
+
+#endif // DLB_CORE_ALPHA_HPP

@@ -1,0 +1,43 @@
+#include "core/beta.hpp"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace dlb {
+
+double beta_opt(double lambda)
+{
+    if (!(lambda >= 0.0 && lambda < 1.0))
+        throw std::invalid_argument("beta_opt: lambda must be in [0, 1)");
+    return 2.0 / (1.0 + std::sqrt(1.0 - lambda * lambda));
+}
+
+double lambda_for_beta(double beta)
+{
+    if (!(beta >= 1.0 && beta < 2.0))
+        throw std::invalid_argument("lambda_for_beta: beta must be in [1, 2)");
+    const double root = 2.0 / beta - 1.0; // sqrt(1 - lambda^2)
+    return std::sqrt(1.0 - root * root);
+}
+
+double sos_convergence_factor(double beta)
+{
+    if (!(beta >= 1.0 && beta <= 2.0))
+        throw std::invalid_argument("sos_convergence_factor: beta in [1, 2]");
+    return std::sqrt(beta - 1.0);
+}
+
+std::span<const table1_row> table1_reference()
+{
+    static constexpr std::array<table1_row, 5> rows{{
+        {"torus-1000x1000", 1000L * 1000L, 1.9920836447},
+        {"torus-100x100", 100L * 100L, 1.9235874877},
+        {"random-cm-2^20-d19", 1000000L, 1.0651965147},
+        {"rgg-10^4", 10000L, 1.9554636334},
+        {"hypercube-2^20", 1048576L, 1.4026054847},
+    }};
+    return rows;
+}
+
+} // namespace dlb

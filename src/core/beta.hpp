@@ -1,0 +1,37 @@
+// Second-order relaxation parameter beta (paper Section II-b).
+//
+// SOS converges for beta in (0, 2); the optimal choice is
+// beta_opt = 2 / (1 + sqrt(1 - lambda^2)), giving convergence in
+// O(log(K n)/sqrt(1 - lambda)) rounds versus O(log(K n)/(1 - lambda)) for
+// FOS. Table I of the paper lists beta_opt for its five networks; those
+// reference values are reproduced here for cross-checks.
+#ifndef DLB_CORE_BETA_HPP
+#define DLB_CORE_BETA_HPP
+
+#include <span>
+
+namespace dlb {
+
+/// beta_opt = 2 / (1 + sqrt(1 - lambda^2)); requires 0 <= lambda < 1.
+double beta_opt(double lambda);
+
+/// Inverse of beta_opt: the lambda a given beta in [1, 2) is optimal for.
+double lambda_for_beta(double beta);
+
+/// Asymptotic convergence factor of SOS with beta: sqrt(beta - 1) for
+/// beta >= beta_opt (paper Lemma 7.2 eigenvalue envelope).
+double sos_convergence_factor(double beta);
+
+/// One row of the paper's Table I.
+struct table1_row {
+    const char* name;
+    long num_nodes;
+    double beta; // beta_opt as printed in the paper
+};
+
+/// The five reference rows of Table I.
+std::span<const table1_row> table1_reference();
+
+} // namespace dlb
+
+#endif // DLB_CORE_BETA_HPP

@@ -1,0 +1,135 @@
+#include "core/cumulative_baseline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace dlb {
+
+namespace {
+
+std::vector<double> to_double(std::span<const std::int64_t> values)
+{
+    return {values.begin(), values.end()};
+}
+
+} // namespace
+
+cumulative_process::cumulative_process(diffusion_config config,
+                                       std::vector<std::int64_t> initial_load,
+                                       executor* exec)
+    : continuous_(std::move(config), to_double(initial_load), exec),
+      network_(continuous_.config().network),
+      exec_(exec != nullptr ? exec : &default_executor()),
+      load_(std::move(initial_load))
+{
+    const auto half_edges = static_cast<std::size_t>(network_->num_half_edges());
+    cumulative_continuous_.assign(half_edges, 0.0);
+    cumulative_discrete_.assign(half_edges, 0);
+    initial_total_ = std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+void cumulative_process::set_scheme(scheme_params scheme)
+{
+    continuous_.set_scheme(scheme);
+}
+
+std::int64_t cumulative_process::total_load() const
+{
+    return std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+double cumulative_process::max_cumulative_error() const
+{
+    double best = 0.0;
+    for (std::size_t h = 0; h < cumulative_continuous_.size(); ++h)
+        best = std::max(best,
+                        std::abs(cumulative_continuous_[h] -
+                                 static_cast<double>(cumulative_discrete_[h])));
+    return best;
+}
+
+void cumulative_process::step()
+{
+    const graph& g = *network_;
+
+    // Advance the internal continuous process; its previous_flows() then
+    // holds the continuous flows y^C(t) of the round just performed.
+    continuous_.step();
+    const auto continuous_flows = continuous_.previous_flows();
+
+    exec_->parallel_for(g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+        for (half_edge_id h = begin; h < end; ++h)
+            cumulative_continuous_[h] += continuous_flows[h];
+    });
+
+    // Discrete flow keeps the cumulative counter as close as possible to the
+    // continuous cumulative: on the canonical (v < u) side,
+    // y^D = round(cumC) - cumD; the reverse side mirrors it. Each node
+    // updates only its own load; canonical counters are written by the
+    // canonical tail only, so the loop is race-free.
+    std::vector<double> transient(static_cast<std::size_t>(g.num_nodes()));
+    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+        for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+            std::int64_t net_out = 0;
+            std::int64_t positive_out = 0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+                const node_id u = g.head(h);
+                std::int64_t flow;
+                if (v < u) {
+                    flow = std::llround(cumulative_continuous_[h]) -
+                           cumulative_discrete_[h];
+                } else {
+                    const half_edge_id tw = g.twin(h);
+                    flow = -(std::llround(cumulative_continuous_[tw]) -
+                             cumulative_discrete_[tw]);
+                }
+                net_out += flow;
+                if (flow > 0) positive_out += flow;
+            }
+            transient[v] = static_cast<double>(load_[v] - positive_out);
+            load_[v] -= net_out;
+        }
+    });
+
+    // Commit the canonical cumulative counters and mirror the twins.
+    exec_->parallel_for(g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+        for (half_edge_id h = begin; h < end; ++h) {
+            const half_edge_id tw = g.twin(h);
+            const node_id tail = g.head(tw); // tail of h
+            if (tail < g.head(h))
+                cumulative_discrete_[h] = std::llround(cumulative_continuous_[h]);
+        }
+    });
+    exec_->parallel_for(g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+        for (half_edge_id h = begin; h < end; ++h) {
+            const half_edge_id tw = g.twin(h);
+            const node_id tail = g.head(tw);
+            if (tail > g.head(h))
+                cumulative_discrete_[h] = -cumulative_discrete_[tw];
+        }
+    });
+
+    double min_end = load_.empty() ? 0.0 : static_cast<double>(load_.front());
+    double min_transient =
+        transient.empty() ? 0.0 : transient.front();
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+        min_end = std::min(min_end, static_cast<double>(load_[v]));
+        min_transient = std::min(min_transient, transient[v]);
+    }
+    negative_.min_end_of_round_load =
+        std::min(negative_.min_end_of_round_load, min_end);
+    negative_.min_transient_load =
+        std::min(negative_.min_transient_load, min_transient);
+    if (min_end < 0.0) ++negative_.rounds_with_negative_end_load;
+    if (min_transient < 0.0) ++negative_.rounds_with_negative_transient;
+
+    ++round_;
+}
+
+void cumulative_process::run(std::int64_t count)
+{
+    for (std::int64_t i = 0; i < count; ++i) step();
+}
+
+} // namespace dlb

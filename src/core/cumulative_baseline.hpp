@@ -1,0 +1,63 @@
+// The cumulative-flow discretization baseline of Akbari, Berenbrink &
+// Sauerwald (PODC'12) — reference [2] of the paper.
+//
+// A continuous process runs internally; the discrete process forwards on
+// each edge exactly as many tokens as needed to keep its *cumulative* flow
+// within 1/2 of the continuous cumulative flow. This achieves deviation
+// O(d) but is not stateless: the flow depends on the entire history via the
+// cumulative counters, and the continuous state must be simulated alongside.
+// The paper uses it as the comparison point for its stateless randomized
+// framework (Result I discussion), so it is reproduced here as a baseline.
+#ifndef DLB_CORE_CUMULATIVE_BASELINE_HPP
+#define DLB_CORE_CUMULATIVE_BASELINE_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/process.hpp"
+
+namespace dlb {
+
+class cumulative_process {
+public:
+    cumulative_process(diffusion_config config,
+                       std::vector<std::int64_t> initial_load,
+                       executor* exec = nullptr);
+
+    void step();
+    void run(std::int64_t count);
+
+    std::int64_t round() const noexcept { return round_; }
+    std::span<const std::int64_t> load() const noexcept { return load_; }
+
+    /// The internal continuous process the discretization follows.
+    const continuous_process& continuous_twin() const noexcept { return continuous_; }
+
+    std::int64_t total_load() const;
+    std::int64_t initial_total() const noexcept { return initial_total_; }
+    bool verify_conservation() const { return total_load() == initial_total_; }
+
+    const negative_load_stats& negative_stats() const noexcept { return negative_; }
+
+    /// max_h |cumulative_discrete - cumulative_continuous| — bounded by 1/2
+    /// by construction (invariant checked in tests).
+    double max_cumulative_error() const;
+
+    void set_scheme(scheme_params scheme);
+
+private:
+    continuous_process continuous_;
+    const graph* network_;
+    executor* exec_;
+    std::vector<std::int64_t> load_;
+    std::vector<double> cumulative_continuous_;   // per half-edge
+    std::vector<std::int64_t> cumulative_discrete_; // per half-edge
+    std::int64_t round_ = 0;
+    std::int64_t initial_total_ = 0;
+    negative_load_stats negative_;
+};
+
+} // namespace dlb
+
+#endif // DLB_CORE_CUMULATIVE_BASELINE_HPP

@@ -1,0 +1,44 @@
+// Execution policy for the per-round kernels.
+//
+// The paper's simulator parallelized the round kernel with OpenMP; here the
+// engines accept an abstract executor so the same code runs serially (tests,
+// determinism-sensitive analysis) or on the thread pool in sim/thread_pool.
+// All parallel loops are data-parallel over disjoint index ranges, and all
+// randomness is drawn from per-(node, round) streams, so results are
+// identical for any thread count.
+#ifndef DLB_CORE_EXECUTOR_HPP
+#define DLB_CORE_EXECUTOR_HPP
+
+#include <cstdint>
+#include <functional>
+
+namespace dlb {
+
+class executor {
+public:
+    virtual ~executor() = default;
+
+    /// Partitions [0, count) into chunks and invokes body(begin, end) for
+    /// each, possibly concurrently. body must not touch state outside its
+    /// range.
+    virtual void parallel_for(
+        std::int64_t count,
+        const std::function<void(std::int64_t, std::int64_t)>& body) = 0;
+};
+
+/// Runs everything inline on the calling thread.
+class serial_executor final : public executor {
+public:
+    void parallel_for(std::int64_t count,
+                      const std::function<void(std::int64_t, std::int64_t)>& body) override
+    {
+        if (count > 0) body(0, count);
+    }
+};
+
+/// Shared process-wide serial executor (default for all engines).
+executor& default_executor();
+
+} // namespace dlb
+
+#endif // DLB_CORE_EXECUTOR_HPP

@@ -1,0 +1,30 @@
+#include "core/hybrid.hpp"
+
+namespace dlb {
+
+bool hybrid_controller::should_switch(std::int64_t round, double local_difference,
+                                      double global_difference)
+{
+    if (switched_) return false;
+    bool fire = false;
+    switch (policy_.mode) {
+    case switch_policy::trigger::never:
+        break;
+    case switch_policy::trigger::at_round:
+        fire = round >= policy_.round;
+        break;
+    case switch_policy::trigger::local_threshold:
+        fire = local_difference <= policy_.threshold;
+        break;
+    case switch_policy::trigger::global_threshold:
+        fire = global_difference <= policy_.threshold;
+        break;
+    }
+    if (fire) {
+        switched_ = true;
+        switch_round_ = round;
+    }
+    return fire;
+}
+
+} // namespace dlb

@@ -1,0 +1,40 @@
+#include "core/metrics.hpp"
+
+#include <stdexcept>
+
+namespace dlb {
+
+imbalance_tracker::imbalance_tracker(std::int64_t window, double min_improvement)
+    : window_(window), min_improvement_(min_improvement)
+{
+    if (window <= 0)
+        throw std::invalid_argument("imbalance_tracker: window must be positive");
+    if (min_improvement < 0.0)
+        throw std::invalid_argument("imbalance_tracker: negative threshold");
+}
+
+void imbalance_tracker::observe(double value)
+{
+    ++count_;
+    trailing_.push_back(value);
+    if (static_cast<std::int64_t>(trailing_.size()) > window_)
+        trailing_.pop_front();
+
+    if (value < best_ * (1.0 - min_improvement_) ||
+        best_ == std::numeric_limits<double>::infinity()) {
+        best_ = value;
+        last_improvement_ = count_;
+    }
+    converged_ = count_ - last_improvement_ >= window_;
+}
+
+double imbalance_tracker::remaining() const
+{
+    if (trailing_.empty()) return 0.0;
+    std::vector<double> sorted(trailing_.begin(), trailing_.end());
+    std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                     sorted.end());
+    return sorted[sorted.size() / 2];
+}
+
+} // namespace dlb

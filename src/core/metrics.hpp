@@ -1,0 +1,173 @@
+// The quality metrics of the paper's Section VI.
+//
+//  (1) max local load difference  phi_local = max_{(u,v) in E} |x_u - x_v|
+//  (2) maximum load               phi_global = max_v x_v - x_bar
+//  (3) potential                  phi_t = sum_v (x_v - x_bar_v)^2
+//  (4) eigenvector impact         (see sim/eigen_impact.hpp)
+//  (5) remaining imbalance        plateau detection via imbalance_tracker
+//
+// Heterogeneous variants take the ideal vector x_bar_i = m s_i / s.
+#ifndef DLB_CORE_METRICS_HPP
+#define DLB_CORE_METRICS_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// max_v x_v - (sum_v x_v)/n   — the paper's "maximum load" metric.
+template <class Load>
+double max_minus_average(std::span<const Load> load)
+{
+    if (load.empty()) return 0.0;
+    double sum = 0.0;
+    double max_value = static_cast<double>(load.front());
+    for (const Load value : load) {
+        sum += static_cast<double>(value);
+        max_value = std::max(max_value, static_cast<double>(value));
+    }
+    return max_value - sum / static_cast<double>(load.size());
+}
+
+/// max_v (x_v - ideal_v) for heterogeneous networks.
+template <class Load>
+double max_minus_ideal(std::span<const Load> load, std::span<const double> ideal)
+{
+    double best = -std::numeric_limits<double>::infinity();
+    for (std::size_t v = 0; v < load.size(); ++v)
+        best = std::max(best, static_cast<double>(load[v]) - ideal[v]);
+    return best;
+}
+
+/// max_{(u,v) in E} |x_u - x_v|.
+template <class Load>
+double max_local_difference(const graph& g, std::span<const Load> load)
+{
+    double best = 0.0;
+    for (node_id v = 0; v < g.num_nodes(); ++v)
+        for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+            const double diff =
+                static_cast<double>(load[v]) - static_cast<double>(load[g.head(h)]);
+            best = std::max(best, diff < 0 ? -diff : diff);
+        }
+    return best;
+}
+
+/// Speed-normalized local difference max |x_u/s_u - x_v/s_v| (heterogeneous).
+template <class Load>
+double max_local_difference_normalized(const graph& g, std::span<const Load> load,
+                                       std::span<const double> speeds)
+{
+    double best = 0.0;
+    for (node_id v = 0; v < g.num_nodes(); ++v)
+        for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+            const node_id u = g.head(h);
+            const double diff = static_cast<double>(load[v]) / speeds[v] -
+                                static_cast<double>(load[u]) / speeds[u];
+            best = std::max(best, diff < 0 ? -diff : diff);
+        }
+    return best;
+}
+
+/// Muthukrishnan-et-al. potential: sum_v (x_v - ideal_v)^2.
+template <class Load>
+double potential(std::span<const Load> load, std::span<const double> ideal)
+{
+    double acc = 0.0;
+    for (std::size_t v = 0; v < load.size(); ++v) {
+        const double diff = static_cast<double>(load[v]) - ideal[v];
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+/// Homogeneous potential against the flat average.
+template <class Load>
+double potential_homogeneous(std::span<const Load> load)
+{
+    if (load.empty()) return 0.0;
+    double sum = 0.0;
+    for (const Load value : load) sum += static_cast<double>(value);
+    const double average = sum / static_cast<double>(load.size());
+    double acc = 0.0;
+    for (const Load value : load) {
+        const double diff = static_cast<double>(value) - average;
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+template <class Load>
+double min_load(std::span<const Load> load)
+{
+    double best = load.empty() ? 0.0 : static_cast<double>(load.front());
+    for (const Load value : load)
+        best = std::min(best, static_cast<double>(value));
+    return best;
+}
+
+/// max_v |x_v - y_v|: the deviation between two processes (Theorems 3/8/9).
+template <class A, class B>
+double max_deviation(std::span<const A> x, std::span<const B> y)
+{
+    double best = 0.0;
+    for (std::size_t v = 0; v < x.size(); ++v) {
+        const double diff = static_cast<double>(x[v]) - static_cast<double>(y[v]);
+        best = std::max(best, diff < 0 ? -diff : diff);
+    }
+    return best;
+}
+
+/// Delta(t) = ||x - ideal||_inf (paper Section V).
+template <class Load>
+double delta_infinity(std::span<const Load> load, std::span<const double> ideal)
+{
+    double best = 0.0;
+    for (std::size_t v = 0; v < load.size(); ++v) {
+        const double diff = static_cast<double>(load[v]) - ideal[v];
+        best = std::max(best, diff < 0 ? -diff : diff);
+    }
+    return best;
+}
+
+/// Detects the paper's "remaining imbalance": the value of a metric once it
+/// "starts to fluctuate and does not visibly improve any more" (Section VI
+/// metric 5). Feed one observation per round; converged() reports a
+/// plateau once no observation in the trailing window improved on the best
+/// seen before the window.
+class imbalance_tracker {
+public:
+    /// `window`: rounds without improvement that count as a plateau.
+    /// `min_improvement`: relative improvement below which a new minimum is
+    /// not considered progress.
+    explicit imbalance_tracker(std::int64_t window = 200,
+                               double min_improvement = 0.01);
+
+    void observe(double value);
+    bool converged() const noexcept { return converged_; }
+
+    /// Median of the trailing window — the reported remaining imbalance.
+    double remaining() const;
+
+    std::int64_t observations() const noexcept { return count_; }
+    double best() const noexcept { return best_; }
+
+private:
+    std::int64_t window_;
+    double min_improvement_;
+    std::int64_t count_ = 0;
+    std::int64_t last_improvement_ = 0;
+    double best_ = std::numeric_limits<double>::infinity();
+    bool converged_ = false;
+    std::deque<double> trailing_;
+};
+
+} // namespace dlb
+
+#endif // DLB_CORE_METRICS_HPP

@@ -1,0 +1,57 @@
+#include "core/negative_load.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlb {
+
+namespace {
+
+void check_lambda(double lambda)
+{
+    if (!(lambda >= 0.0 && lambda < 1.0))
+        throw std::invalid_argument("negative_load_bounds: lambda in [0, 1)");
+}
+
+} // namespace
+
+double negative_load_bounds::observation5(double n, double delta0)
+{
+    return -std::sqrt(n) * delta0;
+}
+
+double negative_load_bounds::theorem10(double n, double delta0, double lambda,
+                                       double constant)
+{
+    check_lambda(lambda);
+    return -(std::sqrt(n) * delta0 +
+             constant * std::sqrt(n) * delta0 / std::sqrt(1.0 - lambda));
+}
+
+double negative_load_bounds::theorem11(double n, double delta0, double max_degree,
+                                       double lambda, double constant)
+{
+    check_lambda(lambda);
+    return -(std::sqrt(n) * delta0 +
+             constant * (std::sqrt(n) * delta0 + max_degree * max_degree) /
+                 std::sqrt(1.0 - lambda));
+}
+
+double negative_load_bounds::sufficient_initial_load_continuous(double n,
+                                                                double delta0,
+                                                                double lambda,
+                                                                double constant)
+{
+    return -theorem10(n, delta0, lambda, constant);
+}
+
+double negative_load_bounds::sufficient_initial_load_discrete(double n,
+                                                              double delta0,
+                                                              double max_degree,
+                                                              double lambda,
+                                                              double constant)
+{
+    return -theorem11(n, delta0, max_degree, lambda, constant);
+}
+
+} // namespace dlb

@@ -1,0 +1,47 @@
+// Negative-load bounds for second-order diffusion (paper Section V).
+//
+// SOS may schedule more outgoing flow from a node than it holds. The paper
+// proves (for beta = beta_opt):
+//   Observation 5:  end-of-round loads satisfy x(t) >= -sqrt(n) * Delta(0)
+//   Theorem 10:     transient loads satisfy
+//                     x-breve(t) >= -O(sqrt(n) * Delta(0) / sqrt(1-lambda))
+//   Theorem 11:     discrete SOS with randomized rounding:
+//                     x-breve(t) >= -O((sqrt(n)*Delta(0) + d^2) / sqrt(1-lambda))
+// where Delta(0) = ||x(0) - x_bar||_inf. Adding the corresponding amount to
+// every node's initial load therefore guarantees non-negative loads
+// throughout. The constants below follow the proofs (Theorem 10's chain
+// gives a factor 16*sqrt(2) before simplification; callers can override).
+#ifndef DLB_CORE_NEGATIVE_LOAD_HPP
+#define DLB_CORE_NEGATIVE_LOAD_HPP
+
+#include <cstdint>
+
+namespace dlb {
+
+struct negative_load_bounds {
+    /// Observation 5: lower bound on end-of-round continuous SOS load.
+    static double observation5(double n, double delta0);
+
+    /// Theorem 10: lower bound on the continuous transient load.
+    static double theorem10(double n, double delta0, double lambda,
+                            double constant = 16.0);
+
+    /// Theorem 11: lower bound on the discrete (randomized) transient load.
+    static double theorem11(double n, double delta0, double max_degree,
+                            double lambda, double constant = 16.0);
+
+    /// Minimum uniform initial load sufficient to keep continuous SOS
+    /// non-negative (the negation of theorem10).
+    static double sufficient_initial_load_continuous(double n, double delta0,
+                                                     double lambda,
+                                                     double constant = 16.0);
+
+    /// Minimum uniform initial load sufficient for discrete SOS.
+    static double sufficient_initial_load_discrete(double n, double delta0,
+                                                   double max_degree, double lambda,
+                                                   double constant = 16.0);
+};
+
+} // namespace dlb
+
+#endif // DLB_CORE_NEGATIVE_LOAD_HPP

@@ -1,0 +1,232 @@
+#include "core/process.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlb {
+
+namespace {
+
+void validate_config(const diffusion_config& config, std::size_t load_size)
+{
+    if (config.network == nullptr)
+        throw std::invalid_argument("process: null network");
+    if (config.alpha.size() !=
+        static_cast<std::size_t>(config.network->num_half_edges()))
+        throw std::invalid_argument("process: alpha size mismatch");
+    if (config.speeds.size() != config.network->num_nodes())
+        throw std::invalid_argument("process: speeds size mismatch");
+    if (load_size != static_cast<std::size_t>(config.network->num_nodes()))
+        throw std::invalid_argument("process: initial load size mismatch");
+    validate_scheme(config.scheme);
+}
+
+} // namespace
+
+continuous_process::continuous_process(diffusion_config config,
+                                       std::vector<double> initial_load,
+                                       executor* exec)
+    : config_(std::move(config)),
+      exec_(exec != nullptr ? exec : &default_executor()),
+      load_(std::move(initial_load))
+{
+    validate_config(config_, load_.size());
+    load_over_speed_.resize(load_.size());
+    flows_.assign(static_cast<std::size_t>(config_.network->num_half_edges()), 0.0);
+    previous_flows_.assign(flows_.size(), 0.0);
+    initial_total_ = std::accumulate(load_.begin(), load_.end(), 0.0);
+}
+
+void continuous_process::set_scheme(scheme_params scheme)
+{
+    validate_scheme(scheme);
+    config_.scheme = scheme;
+    rounds_in_scheme_ = 0;
+}
+
+double continuous_process::total_load() const
+{
+    return std::accumulate(load_.begin(), load_.end(), 0.0);
+}
+
+void continuous_process::step()
+{
+    const graph& g = *config_.network;
+
+    if (config_.speeds.is_uniform()) {
+        std::copy(load_.begin(), load_.end(), load_over_speed_.begin());
+    } else {
+        exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+            for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+                load_over_speed_[v] = load_[v] / config_.speeds.speed(v);
+        });
+    }
+
+    scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
+                    load_over_speed_, previous_flows_, flows_, *exec_);
+
+    // Apply flows; reuse load_over_speed_ as the per-node transient scratch.
+    std::vector<double>& transient = load_over_speed_;
+    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+        for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+            double net_out = 0.0;
+            double positive_out = 0.0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+                const double f = flows_[h];
+                net_out += f;
+                if (f > 0.0) positive_out += f;
+            }
+            transient[v] = load_[v] - positive_out;
+            load_[v] -= net_out;
+        }
+    });
+
+    double min_end = load_.empty() ? 0.0 : load_.front();
+    double min_transient = transient.empty() ? 0.0 : transient.front();
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+        min_end = std::min(min_end, load_[v]);
+        min_transient = std::min(min_transient, transient[v]);
+    }
+    negative_.min_end_of_round_load =
+        std::min(negative_.min_end_of_round_load, min_end);
+    negative_.min_transient_load =
+        std::min(negative_.min_transient_load, min_transient);
+    if (min_end < 0.0) ++negative_.rounds_with_negative_end_load;
+    if (min_transient < 0.0) ++negative_.rounds_with_negative_transient;
+
+    std::swap(previous_flows_, flows_);
+    ++round_;
+    ++rounds_in_scheme_;
+}
+
+void continuous_process::run(std::int64_t count)
+{
+    for (std::int64_t i = 0; i < count; ++i) step();
+}
+
+discrete_process::discrete_process(diffusion_config config,
+                                   std::vector<std::int64_t> initial_load,
+                                   rounding_kind rounding, std::uint64_t seed,
+                                   negative_load_policy policy, executor* exec)
+    : config_(std::move(config)),
+      exec_(exec != nullptr ? exec : &default_executor()),
+      rounding_(rounding),
+      seed_(seed),
+      policy_(policy),
+      load_(std::move(initial_load))
+{
+    validate_config(config_, load_.size());
+    load_over_speed_.resize(load_.size());
+    const auto half_edges =
+        static_cast<std::size_t>(config_.network->num_half_edges());
+    scheduled_.assign(half_edges, 0.0);
+    flows_.assign(half_edges, 0);
+    previous_flows_int_.assign(half_edges, 0);
+    previous_flows_.assign(half_edges, 0.0);
+    initial_total_ = std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+void discrete_process::set_scheme(scheme_params scheme)
+{
+    validate_scheme(scheme);
+    config_.scheme = scheme;
+    rounds_in_scheme_ = 0;
+}
+
+std::int64_t discrete_process::total_load() const
+{
+    return std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+void discrete_process::step()
+{
+    const graph& g = *config_.network;
+
+    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+        for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+            load_over_speed_[v] =
+                static_cast<double>(load_[v]) / config_.speeds.speed(v);
+    });
+
+    // Yhat(t) = C(x^D(t), y^D(t-1))  — the continuous scheduled load.
+    scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
+                    load_over_speed_, previous_flows_, scheduled_, *exec_);
+
+    round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_);
+
+    if (policy_ == negative_load_policy::prevent) {
+        // Clip each node's outgoing tokens to its available load, then
+        // restore antisymmetry on the clipped edges.
+        std::int64_t clipped_total = 0;
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            std::int64_t positive_out = 0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h)
+                if (flows_[h] > 0) positive_out += flows_[h];
+            const std::int64_t available = std::max<std::int64_t>(load_[v], 0);
+            if (positive_out <= available) continue;
+            std::int64_t remaining = available;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+                if (flows_[h] <= 0) continue;
+                const std::int64_t keep = std::min(flows_[h], remaining);
+                clipped_total += flows_[h] - keep;
+                flows_[h] = keep;
+                remaining -= keep;
+            }
+        }
+        clipped_tokens_ += clipped_total;
+        if (clipped_total > 0) {
+            exec_->parallel_for(
+                g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+                    for (half_edge_id h = begin; h < end; ++h)
+                        if (scheduled_[h] < 0.0) flows_[h] = -flows_[g.twin(h)];
+                });
+        }
+    }
+
+    // Apply; track the transient state x-breve (all sends out, nothing
+    // received yet). Reuse load_over_speed_ as scratch.
+    std::vector<double>& transient = load_over_speed_;
+    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+        for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+            std::int64_t net_out = 0;
+            std::int64_t positive_out = 0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+                const std::int64_t f = flows_[h];
+                net_out += f;
+                if (f > 0) positive_out += f;
+            }
+            transient[v] = static_cast<double>(load_[v] - positive_out);
+            load_[v] -= net_out;
+        }
+    });
+
+    double min_end = load_.empty() ? 0.0 : static_cast<double>(load_.front());
+    double min_transient = transient.empty() ? 0.0 : transient.front();
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+        min_end = std::min(min_end, static_cast<double>(load_[v]));
+        min_transient = std::min(min_transient, transient[v]);
+    }
+    negative_.min_end_of_round_load =
+        std::min(negative_.min_end_of_round_load, min_end);
+    negative_.min_transient_load =
+        std::min(negative_.min_transient_load, min_transient);
+    if (min_end < 0.0) ++negative_.rounds_with_negative_end_load;
+    if (min_transient < 0.0) ++negative_.rounds_with_negative_transient;
+
+    std::swap(previous_flows_int_, flows_);
+    exec_->parallel_for(g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+        for (half_edge_id h = begin; h < end; ++h)
+            previous_flows_[h] = static_cast<double>(previous_flows_int_[h]);
+    });
+
+    ++round_;
+    ++rounds_in_scheme_;
+}
+
+void discrete_process::run(std::int64_t count)
+{
+    for (std::int64_t i = 0; i < count; ++i) step();
+}
+
+} // namespace dlb

@@ -1,0 +1,152 @@
+// The load balancing engines.
+//
+// `continuous_process` runs the idealized scheme C on double loads
+// (arbitrarily divisible load, paper Section II). `discrete_process` runs
+// the discrete version D = R(C) on int64 token counts: each round it asks
+// the continuous rule for the scheduled flows Yhat(t) = C(x^D(t), y^D(t-1))
+// and rounds them with the configured scheme (paper Definition 1).
+//
+// Both engines track the negative-load instrumentation of Section V: the
+// end-of-round minimum load and the *transient* minimum — the load after
+// all outgoing flow has left a node but before any incoming flow arrives
+// (the paper's x-breve).
+#ifndef DLB_CORE_PROCESS_HPP
+#define DLB_CORE_PROCESS_HPP
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "core/rounding.hpp"
+#include "core/scheme.hpp"
+#include "core/speeds.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Everything that defines the continuous process C on a network.
+/// The graph must outlive any engine constructed from this config.
+struct diffusion_config {
+    const graph* network = nullptr;
+    std::vector<double> alpha; // per half-edge, symmetric
+    speed_profile speeds;
+    scheme_params scheme;
+};
+
+/// Negative-load instrumentation (paper Section V).
+struct negative_load_stats {
+    double min_end_of_round_load = std::numeric_limits<double>::infinity();
+    double min_transient_load = std::numeric_limits<double>::infinity();
+    std::int64_t rounds_with_negative_end_load = 0;
+    std::int64_t rounds_with_negative_transient = 0;
+};
+
+/// What to do when a node's scheduled outgoing flow exceeds its load.
+enum class negative_load_policy {
+    allow,   // paper semantics: loads may become negative
+    prevent, // practical extension: clip outgoing tokens to available load
+};
+
+class continuous_process {
+public:
+    /// `initial_load` has one entry per node. Throws std::invalid_argument
+    /// on config/shape errors.
+    continuous_process(diffusion_config config, std::vector<double> initial_load,
+                       executor* exec = nullptr);
+
+    /// Advances one synchronous round.
+    void step();
+
+    /// Runs `count` rounds.
+    void run(std::int64_t count);
+
+    std::int64_t round() const noexcept { return round_; }
+    std::span<const double> load() const noexcept { return load_; }
+    std::span<const double> previous_flows() const noexcept { return previous_flows_; }
+    const diffusion_config& config() const noexcept { return config_; }
+
+    /// Total load right now; differs from initial_total() only by
+    /// accumulated floating-point drift (paper Figure 6, right).
+    double total_load() const;
+    double initial_total() const noexcept { return initial_total_; }
+
+    const negative_load_stats& negative_stats() const noexcept { return negative_; }
+
+    /// Hybrid switching (paper Section VI-A): replaces the scheme from the
+    /// next round on. Switching to SOS restarts its FOS warm-up round.
+    void set_scheme(scheme_params scheme);
+
+private:
+    diffusion_config config_;
+    executor* exec_;
+    std::vector<double> load_;
+    std::vector<double> load_over_speed_;
+    std::vector<double> flows_;
+    std::vector<double> previous_flows_;
+    std::int64_t round_ = 0;
+    std::int64_t rounds_in_scheme_ = 0;
+    double initial_total_ = 0.0;
+    negative_load_stats negative_;
+};
+
+class discrete_process {
+public:
+    discrete_process(diffusion_config config, std::vector<std::int64_t> initial_load,
+                     rounding_kind rounding, std::uint64_t seed,
+                     negative_load_policy policy = negative_load_policy::allow,
+                     executor* exec = nullptr);
+
+    void step();
+    void run(std::int64_t count);
+
+    std::int64_t round() const noexcept { return round_; }
+    std::span<const std::int64_t> load() const noexcept { return load_; }
+    std::span<const std::int64_t> previous_flows() const noexcept
+    {
+        return previous_flows_int_;
+    }
+    const diffusion_config& config() const noexcept { return config_; }
+    rounding_kind rounding() const noexcept { return rounding_; }
+    std::uint64_t seed() const noexcept { return seed_; }
+
+    /// Exact token conservation: total_load() == initial_total() always
+    /// (verified by verify_conservation()).
+    std::int64_t total_load() const;
+    std::int64_t initial_total() const noexcept { return initial_total_; }
+    bool verify_conservation() const { return total_load() == initial_total_; }
+
+    const negative_load_stats& negative_stats() const noexcept { return negative_; }
+
+    /// Tokens the prevent-policy refused to send (0 under allow).
+    std::int64_t clipped_tokens() const noexcept { return clipped_tokens_; }
+
+    void set_scheme(scheme_params scheme);
+
+    /// The last round's scheduled (continuous) flows; introspection for
+    /// deviation analyses and tests.
+    std::span<const double> last_scheduled_flows() const noexcept { return scheduled_; }
+
+private:
+    diffusion_config config_;
+    executor* exec_;
+    rounding_kind rounding_;
+    std::uint64_t seed_;
+    negative_load_policy policy_;
+    std::vector<std::int64_t> load_;
+    std::vector<double> load_over_speed_;
+    std::vector<double> scheduled_;
+    std::vector<std::int64_t> flows_;
+    std::vector<std::int64_t> previous_flows_int_;
+    std::vector<double> previous_flows_; // double copy fed back into the rule
+    std::int64_t round_ = 0;
+    std::int64_t rounds_in_scheme_ = 0;
+    std::int64_t initial_total_ = 0;
+    std::int64_t clipped_tokens_ = 0;
+    negative_load_stats negative_;
+};
+
+} // namespace dlb
+
+#endif // DLB_CORE_PROCESS_HPP

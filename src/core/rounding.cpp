@@ -1,0 +1,137 @@
+#include "core/rounding.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dlb {
+
+std::string_view to_string(rounding_kind kind) noexcept
+{
+    switch (kind) {
+    case rounding_kind::randomized: return "randomized";
+    case rounding_kind::floor: return "floor";
+    case rounding_kind::nearest: return "nearest";
+    case rounding_kind::bernoulli_edge: return "bernoulli-edge";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// The paper's randomized rounding for one node's outgoing flows.
+void round_node_randomized(const graph& g, node_id v,
+                           std::span<const double> scheduled,
+                           std::uint64_t seed, std::int64_t round,
+                           std::span<std::int64_t> flows_out)
+{
+    const half_edge_id begin = g.half_edge_begin(v);
+    const half_edge_id end = g.half_edge_end(v);
+
+    // Pass 1: floor all outgoing flows, accumulate the excess mass r.
+    double excess = 0.0;
+    for (half_edge_id h = begin; h < end; ++h) {
+        const double yhat = scheduled[h];
+        if (yhat > 0.0) {
+            const double floored = std::floor(yhat);
+            flows_out[h] = static_cast<std::int64_t>(floored);
+            excess += yhat - floored;
+        }
+    }
+    if (excess <= 0.0) return;
+
+    // Pass 2: distribute ceil(r) candidate tokens. Each leaves the node
+    // with probability r/ceil(r); a leaving token picks the outgoing edge
+    // h with probability {Yhat_h}/r.
+    const double token_count_real = std::ceil(excess);
+    const auto token_count = static_cast<std::int64_t>(token_count_real);
+    const double send_probability = excess / token_count_real;
+
+    auto rng = stream_for(seed, static_cast<std::uint64_t>(v),
+                          static_cast<std::uint64_t>(round));
+    for (std::int64_t token = 0; token < token_count; ++token) {
+        if (!rng.next_bernoulli(send_probability)) continue;
+        // Inverse-CDF walk over the fractional parts.
+        double target = rng.next_double() * excess;
+        half_edge_id chosen = -1;
+        for (half_edge_id h = begin; h < end; ++h) {
+            const double yhat = scheduled[h];
+            if (yhat <= 0.0) continue;
+            const double fraction = yhat - std::floor(yhat);
+            if (fraction <= 0.0) continue;
+            chosen = h;
+            target -= fraction;
+            if (target <= 0.0) break;
+        }
+        // target may stay positive due to floating-point slack; the walk
+        // then lands on the last fractional edge, preserving totals.
+        if (chosen >= 0) flows_out[chosen] += 1;
+    }
+}
+
+void round_node_bernoulli(const graph& g, node_id v,
+                          std::span<const double> scheduled, std::uint64_t seed,
+                          std::int64_t round, std::span<std::int64_t> flows_out)
+{
+    auto rng = stream_for(seed, static_cast<std::uint64_t>(v),
+                          static_cast<std::uint64_t>(round));
+    for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+        const double yhat = scheduled[h];
+        if (yhat <= 0.0) continue;
+        const double floored = std::floor(yhat);
+        const double fraction = yhat - floored;
+        flows_out[h] = static_cast<std::int64_t>(floored) +
+                       (rng.next_bernoulli(fraction) ? 1 : 0);
+    }
+}
+
+} // namespace
+
+void round_flows(const graph& g, rounding_kind kind,
+                 std::span<const double> scheduled, std::uint64_t seed,
+                 std::int64_t round, std::span<std::int64_t> flows_out,
+                 executor& exec)
+{
+    if (scheduled.size() != static_cast<std::size_t>(g.num_half_edges()) ||
+        flows_out.size() != scheduled.size())
+        throw std::invalid_argument("round_flows: size mismatch");
+
+    // Owners write their outgoing half-edges only; twins are fixed after.
+    exec.parallel_for(g.num_nodes(), [&](std::int64_t chunk_begin, std::int64_t chunk_end) {
+        for (node_id v = static_cast<node_id>(chunk_begin); v < chunk_end; ++v) {
+            const half_edge_id begin = g.half_edge_begin(v);
+            const half_edge_id end = g.half_edge_end(v);
+            for (half_edge_id h = begin; h < end; ++h) flows_out[h] = 0;
+
+            switch (kind) {
+            case rounding_kind::randomized:
+                round_node_randomized(g, v, scheduled, seed, round, flows_out);
+                break;
+            case rounding_kind::floor:
+                for (half_edge_id h = begin; h < end; ++h)
+                    if (scheduled[h] > 0.0)
+                        flows_out[h] =
+                            static_cast<std::int64_t>(std::floor(scheduled[h]));
+                break;
+            case rounding_kind::nearest:
+                for (half_edge_id h = begin; h < end; ++h)
+                    if (scheduled[h] > 0.0)
+                        flows_out[h] = std::llround(scheduled[h]);
+                break;
+            case rounding_kind::bernoulli_edge:
+                round_node_bernoulli(g, v, scheduled, seed, round, flows_out);
+                break;
+            }
+        }
+    });
+
+    // Mirror pass: the negative side of each edge is minus the owner's
+    // rounded flow. Safe in parallel: each index writes only itself.
+    exec.parallel_for(g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+        for (half_edge_id h = begin; h < end; ++h)
+            if (scheduled[h] < 0.0) flows_out[h] = -flows_out[g.twin(h)];
+    });
+}
+
+} // namespace dlb

@@ -1,0 +1,85 @@
+#include "core/scheme.hpp"
+
+#include <stdexcept>
+
+namespace dlb {
+
+executor& default_executor()
+{
+    static serial_executor instance;
+    return instance;
+}
+
+void validate_scheme(scheme_params scheme)
+{
+    if (scheme.kind == scheme_kind::sos &&
+        !(scheme.beta > 0.0 && scheme.beta < 2.0))
+        throw std::invalid_argument("scheme: SOS requires beta in (0, 2)");
+    if (scheme.kind == scheme_kind::chebyshev &&
+        !(scheme.lambda >= 0.0 && scheme.lambda < 1.0))
+        throw std::invalid_argument("scheme: Chebyshev requires lambda in [0, 1)");
+}
+
+double scheme_beta_for_round(scheme_params scheme, std::int64_t rounds_in_scheme)
+{
+    switch (scheme.kind) {
+    case scheme_kind::fos:
+        return 1.0;
+    case scheme_kind::sos:
+        return rounds_in_scheme == 0 ? 1.0 : scheme.beta;
+    case scheme_kind::chebyshev: {
+        if (rounds_in_scheme == 0) return 1.0; // omega_1 = 1: plain FOS round
+        const double lambda_sq = scheme.lambda * scheme.lambda;
+        double omega = 1.0;
+        // omega_{t+1} = 1/(1 - lambda^2/4 * omega_t); omega_2 uses /2.
+        omega = 1.0 / (1.0 - lambda_sq / 2.0);
+        for (std::int64_t t = 2; t <= rounds_in_scheme; ++t)
+            omega = 1.0 / (1.0 - 0.25 * lambda_sq * omega);
+        return omega;
+    }
+    }
+    return 1.0;
+}
+
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     std::span<const double> load_over_speed,
+                     std::span<const double> previous_flows,
+                     std::span<double> flows_out, executor& exec)
+{
+    if (alpha.size() != static_cast<std::size_t>(g.num_half_edges()) ||
+        flows_out.size() != alpha.size())
+        throw std::invalid_argument("scheduled_flows: size mismatch");
+    if (load_over_speed.size() != static_cast<std::size_t>(g.num_nodes()))
+        throw std::invalid_argument("scheduled_flows: load size mismatch");
+
+    const bool second_order =
+        scheme.kind != scheme_kind::fos && rounds_in_scheme > 0;
+    if (second_order && previous_flows.size() != alpha.size())
+        throw std::invalid_argument("scheduled_flows: previous flows missing");
+
+    const double beta = scheme_beta_for_round(scheme, rounds_in_scheme);
+
+    // Parallel over nodes; each chunk writes only its nodes' half-edges.
+    exec.parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+        for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+            const double xv = load_over_speed[v];
+            const half_edge_id he_begin = g.half_edge_begin(v);
+            const half_edge_id he_end = g.half_edge_end(v);
+            if (second_order) {
+                for (half_edge_id h = he_begin; h < he_end; ++h) {
+                    const double gradient = xv - load_over_speed[g.head(h)];
+                    flows_out[h] = (beta - 1.0) * previous_flows[h] +
+                                   beta * alpha[h] * gradient;
+                }
+            } else {
+                for (half_edge_id h = he_begin; h < he_end; ++h) {
+                    const double gradient = xv - load_over_speed[g.head(h)];
+                    flows_out[h] = alpha[h] * gradient;
+                }
+            }
+        }
+    });
+}
+
+} // namespace dlb

@@ -1,0 +1,80 @@
+// The continuous flow rules of FOS and SOS (paper eq. (1), (3), (31)).
+//
+// FOS:  y_ij(t) = alpha_ij * (x_i(t)/s_i - x_j(t)/s_j)
+// SOS:  y_ij(t) = (beta-1) * y_ij(t-1) + beta * alpha_ij * (x_i(t)/s_i - x_j(t)/s_j)
+//       with the very first round using the FOS rule.
+//
+// Homogeneous networks have s_i = 1, recovering eq. (1) and (3). The flows
+// are computed per half-edge; antisymmetry y[h] == -y[twin(h)] holds by
+// construction of the formula.
+#ifndef DLB_CORE_SCHEME_HPP
+#define DLB_CORE_SCHEME_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/executor.hpp"
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+enum class scheme_kind {
+    fos,       // first order scheme
+    sos,       // second order scheme (successive over-relaxation based)
+    chebyshev, // Chebyshev semi-iteration: SOS with round-optimal omega_t
+};
+
+struct scheme_params {
+    scheme_kind kind = scheme_kind::fos;
+    /// Relaxation parameter; SOS requires beta in (0, 2). Ignored for FOS.
+    double beta = 1.0;
+    /// Spectral radius lambda driving the Chebyshev omega recurrence;
+    /// required in [0, 1) for scheme_kind::chebyshev, ignored otherwise.
+    double lambda = 0.0;
+};
+
+/// FOS with the paper-default flow rule.
+inline scheme_params fos_scheme() { return {scheme_kind::fos, 1.0, 0.0}; }
+
+/// SOS with the given beta (validated by the engines).
+inline scheme_params sos_scheme(double beta)
+{
+    return {scheme_kind::sos, beta, 0.0};
+}
+
+/// Chebyshev semi-iteration (Golub & Varga [18], the method SOS is derived
+/// from): the relaxation parameter varies per round as
+///   omega_1 = 1,  omega_2 = 1/(1 - lambda^2/2),
+///   omega_{t+1} = 1/(1 - (lambda^2/4) * omega_t),
+/// converging to beta_opt from below. Strictly faster transients than SOS
+/// with the same asymptotic rate; an extension beyond the paper.
+inline scheme_params chebyshev_scheme(double lambda)
+{
+    return {scheme_kind::chebyshev, 1.0, lambda};
+}
+
+/// The effective relaxation factor the scheme applies in round
+/// `rounds_in_scheme` (0-based). FOS: 1. SOS: beta (after the FOS warm-up
+/// round). Chebyshev: omega_{t+1} from the recurrence above.
+double scheme_beta_for_round(scheme_params scheme, std::int64_t rounds_in_scheme);
+
+/// Computes the continuous scheduled flows Yhat(t) = C(x(t), y(t-1)) for
+/// every half-edge.
+///
+/// `load_over_speed[i]` must hold x_i(t)/s_i. `rounds_in_scheme` counts
+/// rounds since this scheme became active: SOS uses the FOS rule when it is
+/// zero (paper: "The only exception is the very first round in which FOS is
+/// applied"). `previous_flows` may be empty for FOS.
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     std::span<const double> load_over_speed,
+                     std::span<const double> previous_flows,
+                     std::span<double> flows_out, executor& exec);
+
+/// Validates scheme parameters; throws std::invalid_argument on bad beta.
+void validate_scheme(scheme_params scheme);
+
+} // namespace dlb
+
+#endif // DLB_CORE_SCHEME_HPP

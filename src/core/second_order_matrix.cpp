@@ -1,0 +1,90 @@
+#include "core/second_order_matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dlb {
+
+q_sequence::q_sequence(dense_matrix m, double beta)
+    : m_(std::move(m)),
+      beta_(beta),
+      current_(dense_matrix::identity(m_.rows())),
+      previous_(m_.rows(), m_.cols())
+{
+    if (m_.rows() != m_.cols())
+        throw std::invalid_argument("q_sequence: M must be square");
+    if (!(beta > 0.0 && beta < 2.0))
+        throw std::invalid_argument("q_sequence: beta in (0, 2)");
+}
+
+void q_sequence::advance()
+{
+    if (t_ == 0) {
+        previous_ = current_; // Q(0) = I
+        current_ = m_;        // Q(1) = beta * M
+        for (std::size_t i = 0; i < current_.rows(); ++i)
+            for (std::size_t j = 0; j < current_.cols(); ++j)
+                current_(i, j) *= beta_;
+    } else {
+        dense_matrix next =
+            m_.multiply(current_).linear_combination(beta_, 1.0 - beta_, previous_);
+        previous_ = std::move(current_);
+        current_ = std::move(next);
+    }
+    ++t_;
+}
+
+std::vector<double> q_sequence::column_sums(const dense_matrix& m)
+{
+    std::vector<double> sums(m.cols(), 0.0);
+    for (std::size_t i = 0; i < m.rows(); ++i)
+        for (std::size_t j = 0; j < m.cols(); ++j) sums[j] += m(i, j);
+    return sums;
+}
+
+double q_sequence::eigenvalue_recursion(double lambda_j, double beta, std::int64_t t)
+{
+    if (t == 0) return 1.0;
+    double previous = 1.0;
+    double current = beta * lambda_j;
+    for (std::int64_t step = 2; step <= t; ++step) {
+        const double next = beta * lambda_j * current + (1.0 - beta) * previous;
+        previous = current;
+        current = next;
+    }
+    return current;
+}
+
+double q_sequence::eigenvalue_envelope(double beta, std::int64_t t)
+{
+    return std::pow(std::sqrt(beta - 1.0), static_cast<double>(t)) *
+           static_cast<double>(t + 1);
+}
+
+m_sequence::m_sequence(dense_matrix m, double beta)
+    : m_(std::move(m)),
+      beta_(beta),
+      current_(dense_matrix::identity(m_.rows())),
+      previous_(m_.rows(), m_.cols())
+{
+    if (m_.rows() != m_.cols())
+        throw std::invalid_argument("m_sequence: M must be square");
+    if (!(beta > 0.0 && beta < 2.0))
+        throw std::invalid_argument("m_sequence: beta in (0, 2)");
+}
+
+void m_sequence::advance()
+{
+    if (t_ == 0) {
+        previous_ = current_; // M(0) = I
+        current_ = m_;        // M(1) = M
+    } else {
+        dense_matrix next =
+            m_.multiply(current_).linear_combination(beta_, 1.0 - beta_, previous_);
+        previous_ = std::move(current_);
+        current_ = std::move(next);
+    }
+    ++t_;
+}
+
+} // namespace dlb

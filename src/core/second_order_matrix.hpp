@@ -1,0 +1,74 @@
+// The second-order matrix sequences of the paper (dense, analysis-sized).
+//
+// Q(t) — eq. (20): Q(0) = I, Q(1) = beta*M,
+//                  Q(t) = beta*M*Q(t-1) + (1-beta)*Q(t-2).
+// Its rows drive the SOS contribution/divergence machinery (Lemma 6) and its
+// spectral envelope (Lemma 7) gives Theorems 8/9.
+//
+// M(t) — Muthukrishnan et al. [19]: x(t) = M(t) * x(0) for continuous SOS:
+//                  M(0) = I, M(1) = M,
+//                  M(t) = beta*M*M(t-1) + (1-beta)*M(t-2).
+//
+// Because every member is a polynomial in M, left- and right-multiplication
+// recursions agree: Q(t) = beta*Q(t-1)*M + (1-beta)*Q(t-2) as well — the
+// sparse row recursion in contribution.hpp relies on this.
+#ifndef DLB_CORE_SECOND_ORDER_MATRIX_HPP
+#define DLB_CORE_SECOND_ORDER_MATRIX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace dlb {
+
+/// Iterator over Q(0), Q(1), Q(2), ... for a given M and beta.
+class q_sequence {
+public:
+    q_sequence(dense_matrix m, double beta);
+
+    std::int64_t t() const noexcept { return t_; }
+    const dense_matrix& current() const noexcept { return current_; }
+
+    /// Q(t) -> Q(t+1).
+    void advance();
+
+    /// Column sums of an arbitrary matrix (Lemma 7.3 check: Q(t) has equal
+    /// column sums).
+    static std::vector<double> column_sums(const dense_matrix& m);
+
+    /// The scalar eigenvalue recursion gamma_j(t) for a given eigenvalue
+    /// lambda_j of M (proof of Lemma 7.2).
+    static double eigenvalue_recursion(double lambda_j, double beta, std::int64_t t);
+
+    /// Lemma 7.2 envelope: (sqrt(beta-1))^t * (t+1).
+    static double eigenvalue_envelope(double beta, std::int64_t t);
+
+private:
+    dense_matrix m_;
+    double beta_;
+    std::int64_t t_ = 0;
+    dense_matrix current_;  // Q(t)
+    dense_matrix previous_; // Q(t-1)
+};
+
+/// Iterator over M(0), M(1), ... with x(t) = M(t) x(0) for continuous SOS.
+class m_sequence {
+public:
+    m_sequence(dense_matrix m, double beta);
+
+    std::int64_t t() const noexcept { return t_; }
+    const dense_matrix& current() const noexcept { return current_; }
+    void advance();
+
+private:
+    dense_matrix m_;
+    double beta_;
+    std::int64_t t_ = 0;
+    dense_matrix current_;
+    dense_matrix previous_;
+};
+
+} // namespace dlb
+
+#endif // DLB_CORE_SECOND_ORDER_MATRIX_HPP

@@ -1,0 +1,86 @@
+#include "core/speeds.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dlb {
+
+speed_profile speed_profile::uniform(node_id n)
+{
+    if (n < 0) throw std::invalid_argument("speed_profile: negative size");
+    speed_profile p;
+    p.n_ = n;
+    p.total_ = static_cast<double>(n);
+    return p;
+}
+
+speed_profile speed_profile::from_vector(std::vector<double> speeds)
+{
+    speed_profile p;
+    p.n_ = static_cast<node_id>(speeds.size());
+    p.max_ = 1.0;
+    p.min_ = speeds.empty() ? 1.0 : speeds.front();
+    double total = 0.0;
+    bool all_one = true;
+    for (const double s : speeds) {
+        if (!(s >= 1.0))
+            throw std::invalid_argument("speed_profile: speeds must be >= 1");
+        total += s;
+        p.max_ = std::max(p.max_, s);
+        p.min_ = std::min(p.min_, s);
+        all_one = all_one && s == 1.0;
+    }
+    p.total_ = total;
+    if (!all_one) p.speeds_ = std::move(speeds);
+    return p;
+}
+
+speed_profile speed_profile::bimodal(node_id n, double fast_fraction,
+                                     double fast_speed, std::uint64_t seed)
+{
+    if (fast_fraction < 0.0 || fast_fraction > 1.0)
+        throw std::invalid_argument("speed_profile::bimodal: fraction in [0,1]");
+    if (fast_speed < 1.0)
+        throw std::invalid_argument("speed_profile::bimodal: fast_speed >= 1");
+
+    std::vector<double> speeds(static_cast<std::size_t>(n), 1.0);
+    const auto fast_count =
+        static_cast<std::size_t>(std::llround(fast_fraction * n));
+    // Deterministic sample: shuffle ids, take the prefix.
+    std::vector<node_id> ids(static_cast<std::size_t>(n));
+    std::iota(ids.begin(), ids.end(), 0);
+    xoshiro256ss rng{mix64(seed, 0xb1b0d41u)};
+    for (std::size_t i = ids.size(); i > 1; --i)
+        std::swap(ids[i - 1], ids[rng.next_below(i)]);
+    for (std::size_t i = 0; i < fast_count && i < ids.size(); ++i)
+        speeds[ids[i]] = fast_speed;
+    return from_vector(std::move(speeds));
+}
+
+speed_profile speed_profile::zipf(node_id n, double exponent, double s_max,
+                                  std::uint64_t seed)
+{
+    if (s_max < 1.0) throw std::invalid_argument("speed_profile::zipf: s_max >= 1");
+    std::vector<double> speeds(static_cast<std::size_t>(n));
+    for (std::size_t rank = 0; rank < speeds.size(); ++rank)
+        speeds[rank] =
+            std::max(1.0, s_max / std::pow(static_cast<double>(rank + 1), exponent));
+    xoshiro256ss rng{mix64(seed, 0x21bfu)};
+    for (std::size_t i = speeds.size(); i > 1; --i)
+        std::swap(speeds[i - 1], speeds[rng.next_below(i)]);
+    return from_vector(std::move(speeds));
+}
+
+std::vector<double> speed_profile::ideal_load(double total_load) const
+{
+    std::vector<double> ideal(static_cast<std::size_t>(n_));
+    for (node_id v = 0; v < n_; ++v)
+        ideal[v] = total_load * speed(v) / total_;
+    return ideal;
+}
+
+} // namespace dlb

@@ -1,0 +1,59 @@
+// Heterogeneous processor speeds (paper Section II-c).
+//
+// Speeds satisfy s_i >= 1 (paper: "The minimum speed is 1"); the balanced
+// load of node i is x_bar_i = m * s_i / s with s = sum_i s_i.
+#ifndef DLB_CORE_SPEEDS_HPP
+#define DLB_CORE_SPEEDS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+class speed_profile {
+public:
+    /// Homogeneous network: every speed 1 (represented implicitly).
+    static speed_profile uniform(node_id n);
+
+    /// Arbitrary speeds; every entry must be >= 1.
+    static speed_profile from_vector(std::vector<double> speeds);
+
+    /// `fast_fraction` of nodes (chosen deterministically from `seed`) run at
+    /// `fast_speed` >= 1, the rest at speed 1. Models a two-tier cluster.
+    static speed_profile bimodal(node_id n, double fast_fraction, double fast_speed,
+                                 std::uint64_t seed);
+
+    /// Zipf-like speeds: s_i = max(1, s_max / rank^exponent) under a random
+    /// permutation. Models long-tailed machine heterogeneity.
+    static speed_profile zipf(node_id n, double exponent, double s_max,
+                              std::uint64_t seed);
+
+    node_id size() const noexcept { return n_; }
+    bool is_uniform() const noexcept { return speeds_.empty(); }
+
+    double speed(node_id v) const noexcept
+    {
+        return speeds_.empty() ? 1.0 : speeds_[v];
+    }
+
+    double total() const noexcept { return total_; }
+    double max_speed() const noexcept { return max_; }
+    double min_speed() const noexcept { return min_; }
+
+    /// Balanced (ideal) load vector for total load m: x_bar_i = m*s_i/s.
+    std::vector<double> ideal_load(double total_load) const;
+
+private:
+    node_id n_ = 0;
+    std::vector<double> speeds_; // empty <=> uniform
+    double total_ = 0.0;
+    double max_ = 1.0;
+    double min_ = 1.0;
+};
+
+} // namespace dlb
+
+#endif // DLB_CORE_SPEEDS_HPP

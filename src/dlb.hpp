@@ -1,0 +1,59 @@
+// Umbrella header: the full public API of dlb, the discrete diffusion load
+// balancing library (reproduction of Akbari, Berenbrink, Elsässer, Kaaser —
+// "Discrete Load Balancing in Heterogeneous Networks with a Focus on
+// Second-Order Diffusion", ICDCS 2015).
+//
+// Quickstart:
+//   #include "dlb.hpp"
+//   auto g = dlb::make_torus_2d(100, 100);
+//   dlb::diffusion_config cfg{
+//       &g, dlb::make_alpha(g, dlb::alpha_policy::max_degree_plus_one),
+//       dlb::speed_profile::uniform(g.num_nodes()),
+//       dlb::sos_scheme(dlb::beta_opt(dlb::torus_2d_lambda(100, 100)))};
+//   dlb::discrete_process proc(cfg, dlb::point_load(g.num_nodes(), 0, 10'000'000),
+//                              dlb::rounding_kind::randomized, /*seed=*/42);
+//   proc.run(1000);
+#ifndef DLB_DLB_HPP
+#define DLB_DLB_HPP
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "graph/graph.hpp"
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/sparse_op.hpp"
+#include "linalg/spectra.hpp"
+#include "linalg/torus_basis.hpp"
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/contribution.hpp"
+#include "core/cumulative_baseline.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/divergence.hpp"
+#include "core/executor.hpp"
+#include "core/hybrid.hpp"
+#include "core/matching.hpp"
+#include "core/metrics.hpp"
+#include "core/negative_load.hpp"
+#include "core/process.hpp"
+#include "core/rounding.hpp"
+#include "core/scheme.hpp"
+#include "core/second_order_matrix.hpp"
+#include "core/speeds.hpp"
+
+#include "sim/eigen_impact.hpp"
+#include "sim/initial_load.hpp"
+#include "sim/recorder.hpp"
+#include "sim/runner.hpp"
+#include "sim/thread_pool.hpp"
+#include "sim/visualize.hpp"
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+#endif // DLB_DLB_HPP

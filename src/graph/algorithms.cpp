@@ -1,0 +1,115 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace dlb {
+
+components connected_components(const graph& g)
+{
+    const node_id n = g.num_nodes();
+    components result;
+    result.label.assign(static_cast<std::size_t>(n), -1);
+
+    std::vector<node_id> frontier;
+    for (node_id start = 0; start < n; ++start) {
+        if (result.label[start] != -1) continue;
+        const int id = result.count++;
+        result.label[start] = id;
+        frontier.assign(1, start);
+        while (!frontier.empty()) {
+            const node_id v = frontier.back();
+            frontier.pop_back();
+            for (const node_id u : g.neighbors(v)) {
+                if (result.label[u] == -1) {
+                    result.label[u] = id;
+                    frontier.push_back(u);
+                }
+            }
+        }
+    }
+    return result;
+}
+
+bool is_connected(const graph& g)
+{
+    return g.num_nodes() <= 1 || connected_components(g).count == 1;
+}
+
+std::vector<std::int32_t> bfs_distances(const graph& g, node_id source)
+{
+    std::vector<std::int32_t> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+    dist[source] = 0;
+    std::queue<node_id> queue;
+    queue.push(source);
+    while (!queue.empty()) {
+        const node_id v = queue.front();
+        queue.pop();
+        for (const node_id u : g.neighbors(v)) {
+            if (dist[u] == -1) {
+                dist[u] = dist[v] + 1;
+                queue.push(u);
+            }
+        }
+    }
+    return dist;
+}
+
+std::int64_t diameter_exact(const graph& g)
+{
+    std::int64_t diameter = 0;
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+        const auto dist = bfs_distances(g, v);
+        for (const auto d : dist) {
+            if (d == -1) return -1;
+            diameter = std::max<std::int64_t>(diameter, d);
+        }
+    }
+    return diameter;
+}
+
+std::int64_t diameter_double_sweep(const graph& g)
+{
+    if (g.num_nodes() == 0) return 0;
+    auto farthest = [&](node_id from) {
+        const auto dist = bfs_distances(g, from);
+        node_id arg = from;
+        std::int32_t best = 0;
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            if (dist[v] > best) {
+                best = dist[v];
+                arg = v;
+            }
+        }
+        return std::pair{arg, best};
+    };
+    const auto [far_node, ignored] = farthest(0);
+    (void)ignored;
+    return farthest(far_node).second;
+}
+
+bool is_bipartite(const graph& g)
+{
+    std::vector<std::int8_t> color(static_cast<std::size_t>(g.num_nodes()), -1);
+    std::vector<node_id> stack;
+    for (node_id start = 0; start < g.num_nodes(); ++start) {
+        if (color[start] != -1) continue;
+        color[start] = 0;
+        stack.assign(1, start);
+        while (!stack.empty()) {
+            const node_id v = stack.back();
+            stack.pop_back();
+            for (const node_id u : g.neighbors(v)) {
+                if (color[u] == -1) {
+                    color[u] = static_cast<std::int8_t>(1 - color[v]);
+                    stack.push_back(u);
+                } else if (color[u] == color[v]) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace dlb

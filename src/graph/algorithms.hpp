@@ -1,0 +1,40 @@
+// Elementary graph algorithms used by generators, analysis and tests.
+#ifndef DLB_GRAPH_ALGORITHMS_HPP
+#define DLB_GRAPH_ALGORITHMS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// Result of a connected-components labeling.
+struct components {
+    int count = 0;
+    std::vector<int> label; // label[v] in [0, count)
+};
+
+/// Labels connected components via BFS. O(n + m).
+components connected_components(const graph& g);
+
+bool is_connected(const graph& g);
+
+/// BFS hop distances from `source`; unreachable nodes get -1.
+std::vector<std::int32_t> bfs_distances(const graph& g, node_id source);
+
+/// Exact diameter by running BFS from every node. O(n(n+m)) — test-sized
+/// graphs only. Returns -1 for disconnected graphs.
+std::int64_t diameter_exact(const graph& g);
+
+/// Lower bound on the diameter via a double BFS sweep. O(n + m).
+std::int64_t diameter_double_sweep(const graph& g);
+
+/// True when the graph is bipartite (2-colorable). Relevant because the
+/// diffusion matrix of a bipartite regular graph with gamma=1 has
+/// eigenvalue -1 (FOS oscillates).
+bool is_bipartite(const graph& g);
+
+} // namespace dlb
+
+#endif // DLB_GRAPH_ALGORITHMS_HPP

@@ -1,0 +1,110 @@
+// Immutable undirected simple graph in CSR (compressed sparse row) form.
+//
+// Each undirected edge {u, v} appears as two *half-edges*: one in u's
+// adjacency slice pointing to v and one in v's slice pointing to u. The
+// `twin` table maps a half-edge to its reverse, which lets the diffusion
+// engine store the antisymmetric flow state y with the invariant
+// y[h] == -y[twin(h)] enforced structurally (flows are computed once per
+// canonical half-edge u < v and mirrored).
+#ifndef DLB_GRAPH_GRAPH_HPP
+#define DLB_GRAPH_GRAPH_HPP
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dlb {
+
+/// Node index. Graphs up to 2^31-1 nodes (paper maximum: 2^20).
+using node_id = std::int32_t;
+
+/// Half-edge index into the CSR adjacency array.
+using half_edge_id = std::int64_t;
+
+/// An undirected edge as an (u, v) pair; canonical form has u < v.
+using edge = std::pair<node_id, node_id>;
+
+class graph {
+public:
+    /// Builds a graph from an undirected edge list.
+    ///
+    /// Self-loops and duplicate edges are rejected with
+    /// std::invalid_argument, as are endpoints outside [0, num_nodes).
+    /// Cost: O(n + m log m) (duplicate detection sorts a copy).
+    static graph from_edge_list(node_id num_nodes, std::span<const edge> edges);
+
+    /// Like from_edge_list but silently drops self-loops and duplicates;
+    /// used by the erased configuration model generator.
+    static graph from_edge_list_dedup(node_id num_nodes, std::vector<edge> edges);
+
+    graph() = default;
+
+    node_id num_nodes() const noexcept { return num_nodes_; }
+
+    /// Number of undirected edges |E|.
+    std::int64_t num_edges() const noexcept
+    {
+        return static_cast<std::int64_t>(adjacency_.size()) / 2;
+    }
+
+    /// Number of half-edges (2|E|); the size of per-half-edge state arrays.
+    std::int64_t num_half_edges() const noexcept
+    {
+        return static_cast<std::int64_t>(adjacency_.size());
+    }
+
+    std::int32_t degree(node_id v) const noexcept
+    {
+        return static_cast<std::int32_t>(offsets_[v + 1] - offsets_[v]);
+    }
+
+    std::int32_t max_degree() const noexcept { return max_degree_; }
+    std::int32_t min_degree() const noexcept { return min_degree_; }
+
+    /// Neighbors of v, ordered ascending by node id.
+    std::span<const node_id> neighbors(node_id v) const noexcept
+    {
+        return {adjacency_.data() + offsets_[v],
+                static_cast<std::size_t>(offsets_[v + 1] - offsets_[v])};
+    }
+
+    /// First half-edge of v; v's k-th neighbor corresponds to half-edge
+    /// `half_edge_begin(v) + k`.
+    half_edge_id half_edge_begin(node_id v) const noexcept { return offsets_[v]; }
+    half_edge_id half_edge_end(node_id v) const noexcept { return offsets_[v + 1]; }
+
+    /// Head (target node) of a half-edge.
+    node_id head(half_edge_id h) const noexcept { return adjacency_[h]; }
+
+    /// The reverse half-edge of h.
+    half_edge_id twin(half_edge_id h) const noexcept { return twins_[h]; }
+
+    /// True when {u, v} is an edge. O(log degree(u)).
+    bool has_edge(node_id u, node_id v) const noexcept;
+
+    /// All undirected edges in canonical (u < v) form, sorted.
+    std::vector<edge> edge_list() const;
+
+    /// 2|E| / n.
+    double average_degree() const noexcept
+    {
+        return num_nodes_ == 0
+                   ? 0.0
+                   : static_cast<double>(num_half_edges()) / num_nodes_;
+    }
+
+private:
+    node_id num_nodes_ = 0;
+    std::int32_t max_degree_ = 0;
+    std::int32_t min_degree_ = 0;
+    std::vector<half_edge_id> offsets_; // size n+1
+    std::vector<node_id> adjacency_;    // size 2|E|, per-node ascending
+    std::vector<half_edge_id> twins_;   // size 2|E|
+
+    void build_from_sorted_pairs(node_id num_nodes, std::vector<edge>&& directed);
+};
+
+} // namespace dlb
+
+#endif // DLB_GRAPH_GRAPH_HPP

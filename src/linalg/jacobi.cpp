@@ -1,0 +1,91 @@
+#include "linalg/jacobi.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlb {
+
+eigen_decomposition jacobi_eigen(const dense_matrix& symmetric, int max_sweeps,
+                                 double tolerance)
+{
+    const std::size_t n = symmetric.rows();
+    if (symmetric.cols() != n)
+        throw std::invalid_argument("jacobi_eigen: matrix not square");
+
+    const double scale_ref = std::max(symmetric.max_abs(), 1e-300);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i + 1; j < n; ++j)
+            if (std::abs(symmetric(i, j) - symmetric(j, i)) > 1e-9 * scale_ref)
+                throw std::invalid_argument("jacobi_eigen: matrix not symmetric");
+
+    dense_matrix a = symmetric;
+    dense_matrix v = dense_matrix::identity(n);
+
+    auto off_diagonal_norm = [&] {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i)
+            for (std::size_t j = i + 1; j < n; ++j) acc += a(i, j) * a(i, j);
+        return std::sqrt(2.0 * acc);
+    };
+
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+        if (off_diagonal_norm() <= tolerance * scale_ref * static_cast<double>(n))
+            break;
+        for (std::size_t p = 0; p < n; ++p) {
+            for (std::size_t q = p + 1; q < n; ++q) {
+                const double apq = a(p, q);
+                if (std::abs(apq) <= 1e-300) continue;
+                const double app = a(p, p);
+                const double aqq = a(q, q);
+                // Rotation angle via the standard stable formulation.
+                const double theta = (aqq - app) / (2.0 * apq);
+                const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                                 (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                // A <- J^T A J applied to rows/columns p and q.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double akp = a(k, p);
+                    const double akq = a(k, q);
+                    a(k, p) = c * akp - s * akq;
+                    a(k, q) = s * akp + c * akq;
+                }
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double apk = a(p, k);
+                    const double aqk = a(q, k);
+                    a(p, k) = c * apk - s * aqk;
+                    a(q, k) = s * apk + c * aqk;
+                }
+                // Accumulate the rotation into the eigenvector matrix.
+                for (std::size_t k = 0; k < n; ++k) {
+                    const double vkp = v(k, p);
+                    const double vkq = v(k, q);
+                    v(k, p) = c * vkp - s * vkq;
+                    v(k, q) = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort eigenpairs descending by eigenvalue.
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<double> diag(n);
+    for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i);
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+
+    eigen_decomposition result;
+    result.values.resize(n);
+    result.vectors = dense_matrix(n, n);
+    for (std::size_t k = 0; k < n; ++k) {
+        result.values[k] = diag[order[k]];
+        for (std::size_t i = 0; i < n; ++i) result.vectors(i, k) = v(i, order[k]);
+    }
+    return result;
+}
+
+} // namespace dlb

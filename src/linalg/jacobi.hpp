@@ -1,0 +1,34 @@
+// Cyclic Jacobi eigensolver for dense symmetric matrices.
+//
+// This is the project's LAPACK substitute for the paper's eigenvector-impact
+// analysis (Section VI, metric 4): the paper solved V * a = x(t) with LAPACK;
+// we diagonalize once with Jacobi rotations and project a = V^T x.
+// Accuracy is machine precision; complexity O(n^3) per sweep, fine for
+// n <= ~2000.
+#ifndef DLB_LINALG_JACOBI_HPP
+#define DLB_LINALG_JACOBI_HPP
+
+#include <vector>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace dlb {
+
+struct eigen_decomposition {
+    /// Eigenvalues sorted descending.
+    std::vector<double> values;
+    /// Orthonormal eigenvectors as matrix columns, column k pairs with
+    /// values[k].
+    dense_matrix vectors;
+};
+
+/// Diagonalizes a symmetric matrix. Throws std::invalid_argument when the
+/// matrix is not square or not symmetric (tolerance 1e-9 * max|a_ij|).
+/// `max_sweeps` bounds the number of cyclic sweeps.
+eigen_decomposition jacobi_eigen(const dense_matrix& symmetric,
+                                 int max_sweeps = 100,
+                                 double tolerance = 1e-12);
+
+} // namespace dlb
+
+#endif // DLB_LINALG_JACOBI_HPP

@@ -1,0 +1,147 @@
+#include "linalg/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/dense_matrix.hpp"
+#include "linalg/jacobi.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+
+namespace {
+
+/// Removes the components of v along each (normalized) basis vector.
+void project_out(std::span<double> v, std::span<const std::vector<double>> basis)
+{
+    for (const auto& b : basis) {
+        const double coefficient = dot(v, b);
+        axpy(-coefficient, b, v);
+    }
+}
+
+/// Eigenvalue extremes of the symmetric tridiagonal matrix given by
+/// diagonals `alpha` and off-diagonals `beta` (beta[i] couples i and i+1).
+std::pair<double, double> tridiagonal_extremes(std::span<const double> alpha,
+                                               std::span<const double> beta)
+{
+    const std::size_t k = alpha.size();
+    dense_matrix t(k, k);
+    for (std::size_t i = 0; i < k; ++i) {
+        t(i, i) = alpha[i];
+        if (i + 1 < k) {
+            t(i, i + 1) = beta[i];
+            t(i + 1, i) = beta[i];
+        }
+    }
+    const auto eigen = jacobi_eigen(t);
+    return {eigen.values.front(), eigen.values.back()};
+}
+
+} // namespace
+
+lanczos_result lanczos_extreme_eigenvalues(
+    const std::function<void(std::span<const double>, std::span<double>)>& apply,
+    std::size_t n, std::span<const std::vector<double>> deflate,
+    int max_iterations, double tolerance, std::uint64_t seed)
+{
+    if (n == 0) throw std::invalid_argument("lanczos: empty operator");
+    for (const auto& b : deflate)
+        if (b.size() != n)
+            throw std::invalid_argument("lanczos: deflation vector size mismatch");
+
+    const int kmax = std::min<int>(max_iterations, static_cast<int>(n));
+
+    // Krylov basis with full reorthogonalization (kept densely; the intended
+    // use is kmax <= ~200 so memory is kmax * n doubles).
+    std::vector<std::vector<double>> basis;
+    basis.reserve(static_cast<std::size_t>(kmax));
+
+    std::vector<double> alpha;
+    std::vector<double> beta;
+    std::vector<double> v(n);
+    std::vector<double> w(n);
+
+    // Random deterministic start orthogonal to the deflated space.
+    xoshiro256ss rng{mix64(seed, n)};
+    for (auto& entry : v) entry = rng.next_double() - 0.5;
+    project_out(v, deflate);
+    double v_norm = norm2(v);
+    if (v_norm < 1e-300)
+        throw std::runtime_error("lanczos: start vector vanished after deflation");
+    scale(v, 1.0 / v_norm);
+
+    lanczos_result result;
+    double prev_largest = 0.0;
+    double prev_smallest = 0.0;
+
+    for (int k = 0; k < kmax; ++k) {
+        basis.push_back(v);
+        apply(v, w);
+
+        const double a_k = dot(w, v);
+        alpha.push_back(a_k);
+
+        // w <- w - a_k v - b_{k-1} v_{k-1}, then full reorthogonalization
+        // against the whole basis and the deflated space (twice for safety).
+        axpy(-a_k, v, w);
+        if (k > 0) axpy(-beta.back(), basis[static_cast<std::size_t>(k) - 1], w);
+        for (int pass = 0; pass < 2; ++pass) {
+            project_out(w, deflate);
+            for (const auto& b : basis) {
+                const double c = dot(w, b);
+                axpy(-c, b, w);
+            }
+        }
+
+        const double b_k = norm2(w);
+        result.iterations = k + 1;
+
+        // The tridiagonal eigensolve costs O(k^3); evaluating it every
+        // iteration dominates the run for large Krylov dimensions, so check
+        // extremes only periodically (and at breakdown / the final step).
+        const bool check_now =
+            b_k < tolerance || k == kmax - 1 || (k >= 8 && k % 8 == 0);
+        if (check_now) {
+            const auto [largest, smallest] = tridiagonal_extremes(alpha, beta);
+            result.largest = largest;
+            result.smallest = smallest;
+
+            if (b_k < tolerance) {
+                // Invariant subspace found: extremes are exact for it.
+                result.converged = true;
+                break;
+            }
+            if (k >= 16 && std::abs(largest - prev_largest) < tolerance &&
+                std::abs(smallest - prev_smallest) < tolerance) {
+                result.converged = true;
+                break;
+            }
+            prev_largest = largest;
+            prev_smallest = smallest;
+        } else if (b_k < tolerance) {
+            const auto [largest, smallest] = tridiagonal_extremes(alpha, beta);
+            result.largest = largest;
+            result.smallest = smallest;
+            result.converged = true;
+            break;
+        }
+
+        beta.push_back(b_k);
+        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b_k;
+    }
+    return result;
+}
+
+double lanczos_lambda2(
+    const std::function<void(std::span<const double>, std::span<double>)>& apply,
+    std::size_t n, std::span<const std::vector<double>> deflate,
+    int max_iterations, double tolerance, std::uint64_t seed)
+{
+    const auto extremes = lanczos_extreme_eigenvalues(apply, n, deflate,
+                                                      max_iterations, tolerance, seed);
+    return std::max(std::abs(extremes.largest), std::abs(extremes.smallest));
+}
+
+} // namespace dlb

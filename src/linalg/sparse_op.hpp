@@ -1,0 +1,48 @@
+// Sparse symmetric linear operator on graph structure.
+//
+// Represents A = diag(diagonal) + sum over half-edges h=(u->v) of
+// weight[h] * E_{u,v}. The diffusion layer builds the (symmetrized)
+// diffusion matrix in this form; Lanczos consumes it through apply().
+#ifndef DLB_LINALG_SPARSE_OP_HPP
+#define DLB_LINALG_SPARSE_OP_HPP
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+class sparse_op {
+public:
+    sparse_op() = default;
+
+    /// `weights` has one entry per half-edge (g.num_half_edges()); symmetry
+    /// (weights[h] == weights[twin(h)]) is the caller's responsibility and
+    /// is validated in debug builds by is_symmetric().
+    sparse_op(const graph* g, std::vector<double> diagonal,
+              std::vector<double> weights);
+
+    std::size_t dimension() const noexcept { return diagonal_.size(); }
+
+    /// y = A x.
+    void apply(std::span<const double> x, std::span<double> y) const;
+
+    std::vector<double> apply(std::span<const double> x) const;
+
+    /// max_h |w[h] - w[twin(h)]| — zero for a symmetric operator.
+    double symmetry_defect() const;
+
+    const graph& underlying_graph() const noexcept { return *graph_; }
+    std::span<const double> diagonal() const noexcept { return diagonal_; }
+    std::span<const double> weights() const noexcept { return weights_; }
+
+private:
+    const graph* graph_ = nullptr;
+    std::vector<double> diagonal_;
+    std::vector<double> weights_;
+};
+
+} // namespace dlb
+
+#endif // DLB_LINALG_SPARSE_OP_HPP

@@ -1,0 +1,117 @@
+#include "linalg/spectra.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace dlb {
+
+namespace {
+
+constexpr double two_pi = 2.0 * std::numbers::pi;
+
+} // namespace
+
+double torus_2d_mode_eigenvalue(node_id width, node_id height, node_id a, node_id b)
+{
+    // M = I - (1/5) L; L mode eigenvalue = 4 - 2cos(2pi a/w) - 2cos(2pi b/h).
+    const double ca = std::cos(two_pi * a / width);
+    const double cb = std::cos(two_pi * b / height);
+    return 1.0 - 0.2 * (4.0 - 2.0 * ca - 2.0 * cb);
+}
+
+double torus_2d_lambda(node_id width, node_id height)
+{
+    if (width < 3 || height < 3)
+        throw std::invalid_argument("torus_2d_lambda: sides must be >= 3");
+    // Candidates: the slowest non-trivial modes (1,0) and (0,1) give the
+    // largest positive eigenvalue; the fastest modes give the most negative.
+    double best = 0.0;
+    for (node_id a = 0; a < width; ++a) {
+        for (node_id b : {node_id{0}, static_cast<node_id>(height / 2)}) {
+            if (a == 0 && b == 0) continue;
+            best = std::max(best, std::abs(torus_2d_mode_eigenvalue(width, height, a, b)));
+        }
+    }
+    for (node_id b = 0; b < height; ++b) {
+        for (node_id a : {node_id{0}, static_cast<node_id>(width / 2)}) {
+            if (a == 0 && b == 0) continue;
+            best = std::max(best, std::abs(torus_2d_mode_eigenvalue(width, height, a, b)));
+        }
+    }
+    // All eigenvalues of M lie in [1 - 8/5, 1] = [-0.6, 1]; the extreme
+    // magnitudes are attained on the axes scanned above because the
+    // eigenvalue is separable and monotone per axis. For safety (small
+    // sides) also check the mode (1, 1).
+    best = std::max(best, std::abs(torus_2d_mode_eigenvalue(width, height, 1, 1)));
+    return best;
+}
+
+double torus_kd_lambda(const std::vector<node_id>& dims)
+{
+    if (dims.empty()) throw std::invalid_argument("torus_kd_lambda: no dims");
+    const double k = static_cast<double>(dims.size());
+    const double alpha = 1.0 / (2.0 * k + 1.0);
+    // Mode eigenvalue: 1 - alpha * sum_j (2 - 2cos(2pi a_j / w_j)).
+    // Slowest mode: one a_j = 1 on the largest side. Fastest: all a_j at the
+    // antipodal frequency.
+    node_id largest_side = *std::max_element(dims.begin(), dims.end());
+    const double slowest =
+        1.0 - alpha * (2.0 - 2.0 * std::cos(two_pi / largest_side));
+    double fastest = 1.0;
+    for (const node_id side : dims) {
+        const node_id a = side / 2;
+        fastest -= alpha * (2.0 - 2.0 * std::cos(two_pi * a / side));
+    }
+    return std::max(std::abs(slowest), std::abs(fastest));
+}
+
+double hypercube_lambda(int dimension)
+{
+    if (dimension < 1) throw std::invalid_argument("hypercube_lambda: dimension >= 1");
+    const double d = dimension;
+    // M eigenvalues: 1 - 2k/(d+1), k = 0..d. Second largest magnitude is
+    // attained at k=1 and k=d, both equal to (d-1)/(d+1).
+    return (d - 1.0) / (d + 1.0);
+}
+
+double cycle_lambda(node_id n)
+{
+    if (n < 3) throw std::invalid_argument("cycle_lambda: n >= 3");
+    double best = 0.0;
+    for (node_id k : {node_id{1}, static_cast<node_id>(n / 2)})
+        best = std::max(best,
+                        std::abs(1.0 - (2.0 / 3.0) * (1.0 - std::cos(two_pi * k / n))));
+    return best;
+}
+
+double complete_lambda(node_id n)
+{
+    if (n < 2) throw std::invalid_argument("complete_lambda: n >= 2");
+    // L has eigenvalue n with multiplicity n-1; M = I - L/n has eigenvalue 0.
+    return 0.0;
+}
+
+std::vector<double> cycle_spectrum(node_id n)
+{
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(n));
+    for (node_id k = 0; k < n; ++k)
+        values.push_back(1.0 - (2.0 / 3.0) * (1.0 - std::cos(two_pi * k / n)));
+    std::sort(values.begin(), values.end(), std::greater<>());
+    return values;
+}
+
+std::vector<double> torus_2d_spectrum(node_id width, node_id height)
+{
+    std::vector<double> values;
+    values.reserve(static_cast<std::size_t>(width) * height);
+    for (node_id a = 0; a < width; ++a)
+        for (node_id b = 0; b < height; ++b)
+            values.push_back(torus_2d_mode_eigenvalue(width, height, a, b));
+    std::sort(values.begin(), values.end(), std::greater<>());
+    return values;
+}
+
+} // namespace dlb

@@ -1,0 +1,50 @@
+// Closed-form spectra of the homogeneous diffusion matrix
+// M = I - alpha * L for the regular graph families of the paper, with
+// alpha_ij = 1/(max(d_i, d_j) + 1) (the paper's default), which on a
+// d-regular graph is the constant alpha = 1/(d+1).
+//
+// These exact values back Table I: for the 2-D torus
+// lambda = 1 - (2/5)(2 - cos(2*pi/w) - cos(2*pi/h)) ... (largest non-trivial
+// mode), for the hypercube lambda = (d-1)/(d+1), etc. They are also used to
+// cross-check the Lanczos path in tests.
+#ifndef DLB_LINALG_SPECTRA_HPP
+#define DLB_LINALG_SPECTRA_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// lambda_2 (second-largest eigenvalue in magnitude) of M for a 2-D torus
+/// with 4-neighborhood, alpha = 1/5.
+double torus_2d_lambda(node_id width, node_id height);
+
+/// Full eigenvalue of the (a, b) Fourier mode on a width x height torus.
+double torus_2d_mode_eigenvalue(node_id width, node_id height, node_id a, node_id b);
+
+/// lambda of M for the k-D torus with sides dims, alpha = 1/(2k+1).
+double torus_kd_lambda(const std::vector<node_id>& dims);
+
+/// lambda of M for the hypercube of given dimension: (d-1)/(d+1).
+double hypercube_lambda(int dimension);
+
+/// lambda of M for the cycle C_n, alpha = 1/3.
+double cycle_lambda(node_id n);
+
+/// lambda of M for the complete graph K_n, alpha = 1/n: 0.
+double complete_lambda(node_id n);
+
+/// All n eigenvalues of M for the cycle (sorted descending).
+std::vector<double> cycle_spectrum(node_id n);
+
+/// All eigenvalues of M for a 2-D torus (sorted descending), n = w*h of them.
+std::vector<double> torus_2d_spectrum(node_id width, node_id height);
+
+/// Spectral gap 1 - lambda for convergence-time estimates.
+inline double spectral_gap(double lambda) { return 1.0 - lambda; }
+
+} // namespace dlb
+
+#endif // DLB_LINALG_SPECTRA_HPP

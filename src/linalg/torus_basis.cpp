@@ -1,0 +1,185 @@
+#include "linalg/torus_basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+#include <tuple>
+
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+
+namespace {
+
+constexpr double two_pi = 2.0 * std::numbers::pi;
+
+/// True when frequency (a, b) is its own complex conjugate, i.e. both
+/// 2a = 0 (mod w) and 2b = 0 (mod h): only the cos vector exists.
+bool self_conjugate(node_id a, node_id b, node_id w, node_id h)
+{
+    return (2 * a) % w == 0 && (2 * b) % h == 0;
+}
+
+/// Canonical representative of the conjugate pair {(a,b), (w-a, h-b)}.
+bool is_canonical(node_id a, node_id b, node_id w, node_id h)
+{
+    const node_id ca = (w - a) % w;
+    const node_id cb = (h - b) % h;
+    return std::tuple(a, b) <= std::tuple(ca, cb);
+}
+
+} // namespace
+
+torus_fourier_basis::torus_fourier_basis(node_id width, node_id height)
+    : width_(width), height_(height)
+{
+    if (width < 3 || height < 3)
+        throw std::invalid_argument("torus_fourier_basis: sides must be >= 3");
+
+    cos_w_.resize(static_cast<std::size_t>(width) * width);
+    sin_w_.resize(static_cast<std::size_t>(width) * width);
+    for (node_id a = 0; a < width; ++a)
+        for (node_id col = 0; col < width; ++col) {
+            const double angle = two_pi * a * col / width;
+            cos_w_[static_cast<std::size_t>(a) * width + col] = std::cos(angle);
+            sin_w_[static_cast<std::size_t>(a) * width + col] = std::sin(angle);
+        }
+    cos_h_.resize(static_cast<std::size_t>(height) * height);
+    sin_h_.resize(static_cast<std::size_t>(height) * height);
+    for (node_id b = 0; b < height; ++b)
+        for (node_id row = 0; row < height; ++row) {
+            const double angle = two_pi * b * row / height;
+            cos_h_[static_cast<std::size_t>(b) * height + row] = std::cos(angle);
+            sin_h_[static_cast<std::size_t>(b) * height + row] = std::sin(angle);
+        }
+
+    // Enumerate one real vector per conjugate-pair member.
+    for (node_id a = 0; a < width; ++a) {
+        for (node_id b = 0; b < height; ++b) {
+            if (!is_canonical(a, b, width, height)) continue;
+            const double mu = torus_2d_mode_eigenvalue(width, height, a, b);
+            modes_.push_back({a, b, /*is_sin=*/false, mu});
+            if (!self_conjugate(a, b, width, height))
+                modes_.push_back({a, b, /*is_sin=*/true, mu});
+        }
+    }
+    std::sort(modes_.begin(), modes_.end(), [](const mode& x, const mode& y) {
+        return std::tuple(-x.eigenvalue, x.a, x.b, x.is_sin) <
+               std::tuple(-y.eigenvalue, y.a, y.b, y.is_sin);
+    });
+    if (modes_.size() != static_cast<std::size_t>(width) * height)
+        throw std::logic_error("torus_fourier_basis: mode enumeration mismatch");
+}
+
+double torus_fourier_basis::mode_coefficient_norm(node_id a, node_id b) const
+{
+    const double n = static_cast<double>(width_) * height_;
+    return self_conjugate(a, b, width_, height_) ? std::sqrt(n)
+                                                 : std::sqrt(n / 2.0);
+}
+
+std::vector<double> torus_fourier_basis::project(std::span<const double> load) const
+{
+    const std::size_t n = static_cast<std::size_t>(width_) * height_;
+    if (load.size() != n)
+        throw std::invalid_argument("torus_fourier_basis::project: size mismatch");
+
+    // Stage 1 (per row): partial complex DFT along the width axis.
+    // re1/im1[a * height + row] = sum_col load(col,row) * e^{-i 2pi a col / w}.
+    std::vector<double> re1(static_cast<std::size_t>(width_) * height_, 0.0);
+    std::vector<double> im1(static_cast<std::size_t>(width_) * height_, 0.0);
+    for (node_id row = 0; row < height_; ++row) {
+        const double* x_row = load.data() + static_cast<std::size_t>(row) * width_;
+        for (node_id a = 0; a < width_; ++a) {
+            const double* cw = cos_w_.data() + static_cast<std::size_t>(a) * width_;
+            const double* sw = sin_w_.data() + static_cast<std::size_t>(a) * width_;
+            double re = 0.0;
+            double im = 0.0;
+            for (node_id col = 0; col < width_; ++col) {
+                re += x_row[col] * cw[col];
+                im -= x_row[col] * sw[col];
+            }
+            re1[static_cast<std::size_t>(a) * height_ + row] = re;
+            im1[static_cast<std::size_t>(a) * height_ + row] = im;
+        }
+    }
+
+    // Stage 2 (per frequency a): DFT along the height axis, giving the full
+    // 2-D transform X(a, b).
+    std::vector<double> re2(n, 0.0), im2(n, 0.0);
+    for (node_id a = 0; a < width_; ++a) {
+        const double* r1 = re1.data() + static_cast<std::size_t>(a) * height_;
+        const double* i1 = im1.data() + static_cast<std::size_t>(a) * height_;
+        for (node_id b = 0; b < height_; ++b) {
+            const double* ch = cos_h_.data() + static_cast<std::size_t>(b) * height_;
+            const double* sh = sin_h_.data() + static_cast<std::size_t>(b) * height_;
+            double re = 0.0;
+            double im = 0.0;
+            for (node_id row = 0; row < height_; ++row) {
+                // (r1 + i*i1) * (ch - i*sh)
+                re += r1[row] * ch[row] + i1[row] * sh[row];
+                im += i1[row] * ch[row] - r1[row] * sh[row];
+            }
+            re2[static_cast<std::size_t>(a) * height_ + b] = re;
+            im2[static_cast<std::size_t>(a) * height_ + b] = im;
+        }
+    }
+
+    // <cos-vector, x> = Re X(a,b), <sin-vector, x> = -Im X(a,b); normalize.
+    std::vector<double> coefficients(n);
+    for (std::size_t k = 0; k < modes_.size(); ++k) {
+        const mode& m = modes_[k];
+        const std::size_t idx = static_cast<std::size_t>(m.a) * height_ + m.b;
+        const double norm = mode_coefficient_norm(m.a, m.b);
+        coefficients[k] = (m.is_sin ? -im2[idx] : re2[idx]) / norm;
+    }
+    return coefficients;
+}
+
+std::vector<double> torus_fourier_basis::reconstruct(
+    std::span<const double> coefficients) const
+{
+    const std::size_t n = static_cast<std::size_t>(width_) * height_;
+    if (coefficients.size() != n)
+        throw std::invalid_argument("torus_fourier_basis::reconstruct: size mismatch");
+
+    std::vector<double> load(n, 0.0);
+    for (std::size_t k = 0; k < modes_.size(); ++k) {
+        const mode& m = modes_[k];
+        if (coefficients[k] == 0.0) continue;
+        const double norm = mode_coefficient_norm(m.a, m.b);
+        for (node_id row = 0; row < height_; ++row) {
+            for (node_id col = 0; col < width_; ++col) {
+                const double cw = cos_w_[static_cast<std::size_t>(m.a) * width_ + col];
+                const double sw = sin_w_[static_cast<std::size_t>(m.a) * width_ + col];
+                const double ch = cos_h_[static_cast<std::size_t>(m.b) * height_ + row];
+                const double sh = sin_h_[static_cast<std::size_t>(m.b) * height_ + row];
+                // cos(u+v) = cu*cv - su*sv ; sin(u+v) = su*cv + cu*sv
+                const double basis_value =
+                    (m.is_sin ? (sw * ch + cw * sh) : (cw * ch - sw * sh)) / norm;
+                load[static_cast<std::size_t>(row) * width_ + col] +=
+                    coefficients[k] * basis_value;
+            }
+        }
+    }
+    return load;
+}
+
+torus_fourier_basis::impact torus_fourier_basis::analyze(
+    std::span<const double> load) const
+{
+    const auto coefficients = project(load);
+    impact result;
+    for (std::size_t k = 1; k < coefficients.size(); ++k) {
+        if (std::abs(coefficients[k]) > result.max_abs_coefficient) {
+            result.max_abs_coefficient = std::abs(coefficients[k]);
+            result.leading_rank = k;
+            result.leading_value = coefficients[k];
+        }
+    }
+    if (coefficients.size() > 3) result.a4 = coefficients[3];
+    return result;
+}
+
+} // namespace dlb

@@ -1,0 +1,76 @@
+// Analytic real Fourier eigenbasis of the homogeneous diffusion matrix on a
+// 2-D torus (alpha = 1/5).
+//
+// The paper's Section VI metric (4) solves V * a = x(t) with LAPACK to find
+// which eigenvector dominates the remaining imbalance. On a torus the
+// eigenvectors are the real Fourier modes, so the coefficient vector is a
+// projection computed with two passes of per-dimension DFTs in
+// O(n * (width + height)) — no dense factorization needed. Exact to machine
+// precision.
+#ifndef DLB_LINALG_TORUS_BASIS_HPP
+#define DLB_LINALG_TORUS_BASIS_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+class torus_fourier_basis {
+public:
+    /// One real eigenvector of the torus diffusion matrix: the cos or sin
+    /// combination of the (a, b) frequency pair.
+    struct mode {
+        node_id a = 0;           // frequency along width
+        node_id b = 0;           // frequency along height
+        bool is_sin = false;     // cos or sin member of the conjugate pair
+        double eigenvalue = 0.0; // mu(a, b) of M = I - L/5
+    };
+
+    /// Basis for a width x height torus; node (col, row) = row*width + col,
+    /// matching make_torus_2d.
+    torus_fourier_basis(node_id width, node_id height);
+
+    node_id width() const noexcept { return width_; }
+    node_id height() const noexcept { return height_; }
+    std::size_t dimension() const noexcept { return modes_.size(); }
+
+    /// Modes sorted by eigenvalue descending (rank 0 is the constant
+    /// vector, eigenvalue 1); ties broken deterministically by (a, b, sin).
+    const std::vector<mode>& modes() const noexcept { return modes_; }
+
+    /// Coefficients a with x = sum_k a[k] * u_k, in mode-rank order.
+    /// Equivalent to solving the paper's V * a = x since the basis is
+    /// orthonormal. O(n * (width + height)).
+    std::vector<double> project(std::span<const double> load) const;
+
+    /// Reconstructs x from coefficients (for round-trip tests). O(n^2/…)
+    /// evaluated directly per mode — test-sized inputs only.
+    std::vector<double> reconstruct(std::span<const double> coefficients) const;
+
+    /// Summary used by Figures 7 and 15.
+    struct impact {
+        double max_abs_coefficient = 0.0; // over non-constant modes
+        std::size_t leading_rank = 0;     // rank of that mode (>= 1)
+        double leading_value = 0.0;       // signed coefficient
+        double a4 = 0.0;                  // paper's a_4: rank-3 coefficient
+    };
+
+    impact analyze(std::span<const double> load) const;
+
+private:
+    node_id width_ = 0;
+    node_id height_ = 0;
+    std::vector<mode> modes_;
+    // Twiddle tables: cos/sin(2*pi*a*col/width) and (2*pi*b*row/height).
+    std::vector<double> cos_w_, sin_w_; // [a * width + col]
+    std::vector<double> cos_h_, sin_h_; // [b * height + row]
+
+    double mode_coefficient_norm(node_id a, node_id b) const;
+};
+
+} // namespace dlb
+
+#endif // DLB_LINALG_TORUS_BASIS_HPP

@@ -1,0 +1,38 @@
+// Initial load distributions used in the paper's simulations and in the
+// test/bench harnesses.
+#ifndef DLB_SIM_INITIAL_LOAD_HPP
+#define DLB_SIM_INITIAL_LOAD_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+/// The paper's default: total load `total` all on node `at` (Section VI:
+/// "assigning a load of 1000*n to a fixed node v0").
+std::vector<std::int64_t> point_load(node_id n, node_id at, std::int64_t total);
+
+/// Perfectly balanced load of `per_node` everywhere.
+std::vector<std::int64_t> balanced_load(node_id n, std::int64_t per_node);
+
+/// `total` tokens thrown uniformly at random (multinomial). Deterministic
+/// in `seed`; O(total) — intended for test-scale totals.
+std::vector<std::int64_t> random_load(node_id n, std::int64_t total,
+                                      std::uint64_t seed);
+
+/// Each node draws uniformly from [low, high] (independent).
+std::vector<std::int64_t> uniform_range_load(node_id n, std::int64_t low,
+                                             std::int64_t high, std::uint64_t seed);
+
+/// Integer load proportional to speeds with remainder spread left-to-right;
+/// the discrete heterogeneous fixed point for tests.
+std::vector<std::int64_t> proportional_load(const std::vector<double>& speeds,
+                                            std::int64_t total);
+
+std::vector<double> to_continuous(const std::vector<std::int64_t>& load);
+
+} // namespace dlb
+
+#endif // DLB_SIM_INITIAL_LOAD_HPP

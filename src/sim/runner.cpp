@@ -1,0 +1,125 @@
+#include "sim/runner.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "sim/initial_load.hpp"
+
+namespace dlb {
+
+namespace {
+
+/// Shared run loop over the three engine types. `Engine` provides step(),
+/// load(), set_scheme() and negative_stats(); `twin` (optional) is stepped
+/// in lock-step for deviation measurements.
+template <class Engine>
+time_series run_loop(Engine& engine, const experiment_config& config,
+                     continuous_process* twin)
+{
+    const graph& g = *config.diffusion.network;
+    const auto load0 = engine.load();
+    const double total0 =
+        std::accumulate(load0.begin(), load0.end(), 0.0,
+                        [](double acc, auto v) { return acc + static_cast<double>(v); });
+    const std::vector<double> ideal =
+        config.diffusion.speeds.ideal_load(total0);
+
+    hybrid_controller hybrid(config.switching);
+    imbalance_tracker tracker(config.imbalance_window);
+
+    time_series out;
+    const bool with_twin = twin != nullptr;
+
+    for (std::int64_t t = 0;; ++t) {
+        const auto load = engine.load();
+        const double global = max_minus_average(load);
+        const double local = max_local_difference(g, load);
+        tracker.observe(global);
+
+        if (t % config.record_every == 0 || t == config.rounds) {
+            out.rounds.push_back(t);
+            out.max_minus_average.push_back(global);
+            out.max_local_difference.push_back(local);
+            out.potential_over_n.push_back(
+                potential(load, std::span<const double>(ideal)) /
+                static_cast<double>(g.num_nodes()));
+            out.min_load.push_back(min_load(load));
+            out.min_transient_load.push_back(
+                engine.negative_stats().min_transient_load);
+            const double total_now = std::accumulate(
+                load.begin(), load.end(), 0.0,
+                [](double acc, auto v) { return acc + static_cast<double>(v); });
+            out.total_load_error.push_back(std::abs(total_now - total0));
+            if (with_twin)
+                out.deviation_from_twin.push_back(
+                    max_deviation(load, twin->load()));
+        }
+
+        if (t == config.rounds) break;
+
+        if (hybrid.should_switch(t, local, global)) {
+            engine.set_scheme(config.switch_to);
+            if (with_twin) twin->set_scheme(config.switch_to);
+            out.switch_round = t;
+        }
+
+        engine.step();
+        if (with_twin) twin->step();
+    }
+
+    out.negative = engine.negative_stats();
+    out.remaining_imbalance = tracker.remaining();
+    out.imbalance_converged = tracker.converged();
+    return out;
+}
+
+} // namespace
+
+time_series run_experiment(const experiment_config& config,
+                           const std::vector<std::int64_t>& initial_load)
+{
+    return run_experiment_with_final_load(config, initial_load).series;
+}
+
+experiment_outcome run_experiment_with_final_load(
+    const experiment_config& config, const std::vector<std::int64_t>& initial_load)
+{
+    if (config.diffusion.network == nullptr)
+        throw std::invalid_argument("run_experiment: null network");
+    if (config.rounds < 0)
+        throw std::invalid_argument("run_experiment: negative round count");
+
+    experiment_outcome outcome;
+
+    switch (config.process) {
+    case process_kind::discrete: {
+        discrete_process engine(config.diffusion, initial_load, config.rounding,
+                                config.seed, config.policy, config.exec);
+        std::optional<continuous_process> twin;
+        if (config.run_continuous_twin)
+            twin.emplace(config.diffusion, to_continuous(initial_load), config.exec);
+        outcome.series =
+            run_loop(engine, config, twin ? &*twin : nullptr);
+        outcome.final_load.assign(engine.load().begin(), engine.load().end());
+        break;
+    }
+    case process_kind::continuous: {
+        continuous_process engine(config.diffusion, to_continuous(initial_load),
+                                  config.exec);
+        outcome.series = run_loop(engine, config, nullptr);
+        outcome.final_load_continuous.assign(engine.load().begin(),
+                                             engine.load().end());
+        break;
+    }
+    case process_kind::cumulative: {
+        cumulative_process engine(config.diffusion, initial_load, config.exec);
+        outcome.series = run_loop(engine, config, nullptr);
+        outcome.final_load.assign(engine.load().begin(), engine.load().end());
+        break;
+    }
+    }
+    return outcome;
+}
+
+} // namespace dlb

@@ -1,0 +1,67 @@
+// The experiment driver: wires a process engine, metrics, hybrid switching
+// and an optional lock-step continuous twin into one run (the loop behind
+// every figure of the paper's Section VI).
+#ifndef DLB_SIM_RUNNER_HPP
+#define DLB_SIM_RUNNER_HPP
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cumulative_baseline.hpp"
+#include "core/hybrid.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "sim/recorder.hpp"
+
+namespace dlb {
+
+/// Which engine executes the run.
+enum class process_kind {
+    discrete,   // discrete_process with the configured rounding
+    continuous, // idealized double-precision process (paper "idealized")
+    cumulative, // the [2]-style cumulative baseline
+};
+
+struct experiment_config {
+    diffusion_config diffusion;       // graph, alpha, speeds, initial scheme
+    process_kind process = process_kind::discrete;
+    rounding_kind rounding = rounding_kind::randomized;
+    std::uint64_t seed = 1;
+    negative_load_policy policy = negative_load_policy::allow;
+
+    std::int64_t rounds = 1000;
+    std::int64_t record_every = 1;
+
+    /// SOS->FOS hybrid switch; `switch_to` is the post-trigger scheme.
+    switch_policy switching = switch_policy::never();
+    scheme_params switch_to = fos_scheme();
+
+    /// Run an idealized continuous twin in lock-step and record the
+    /// deviation max_v |x^D_v - x^C_v| per recorded round.
+    bool run_continuous_twin = false;
+
+    /// Plateau detection window for the remaining-imbalance metric.
+    std::int64_t imbalance_window = 200;
+
+    executor* exec = nullptr; // nullptr: serial
+};
+
+/// Runs the experiment from `initial_load`. The graph referenced by
+/// `config.diffusion.network` must stay alive for the duration.
+time_series run_experiment(const experiment_config& config,
+                           const std::vector<std::int64_t>& initial_load);
+
+/// Convenience: runs and also returns the final load vector.
+struct experiment_outcome {
+    time_series series;
+    std::vector<std::int64_t> final_load;    // discrete/cumulative engines
+    std::vector<double> final_load_continuous; // continuous engine
+};
+
+experiment_outcome run_experiment_with_final_load(
+    const experiment_config& config, const std::vector<std::int64_t>& initial_load);
+
+} // namespace dlb
+
+#endif // DLB_SIM_RUNNER_HPP

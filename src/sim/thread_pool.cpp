@@ -1,0 +1,84 @@
+#include "sim/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dlb {
+
+thread_pool::thread_pool(unsigned worker_count)
+{
+    if (worker_count == 0) {
+        worker_count = std::max(1u, std::thread::hardware_concurrency());
+    }
+    workers_.reserve(worker_count);
+    for (unsigned i = 0; i < worker_count; ++i)
+        workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+thread_pool::~thread_pool()
+{
+    {
+        std::lock_guard lock(mutex_);
+        stopping_ = true;
+    }
+    work_ready_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void thread_pool::parallel_for(
+    std::int64_t count, const std::function<void(std::int64_t, std::int64_t)>& body)
+{
+    if (count <= 0) return;
+
+    const auto workers = static_cast<std::int64_t>(workers_.size());
+    // Small ranges are cheaper inline than a pool round-trip.
+    if (count < 4 * workers || workers <= 1) {
+        body(0, count);
+        return;
+    }
+
+    {
+        std::lock_guard lock(mutex_);
+        job_.body = &body;
+        job_.count = count;
+        job_.chunk = (count + workers - 1) / workers;
+        ++generation_;
+        job_.generation = generation_;
+        remaining_ = static_cast<unsigned>(workers_.size());
+    }
+    work_ready_.notify_all();
+
+    std::unique_lock lock(mutex_);
+    work_done_.wait(lock, [this] { return remaining_ == 0; });
+    job_.body = nullptr;
+}
+
+void thread_pool::worker_loop(unsigned index)
+{
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        job local;
+        {
+            std::unique_lock lock(mutex_);
+            work_ready_.wait(lock, [&] {
+                return stopping_ || (job_.body != nullptr &&
+                                     job_.generation != seen_generation);
+            });
+            if (stopping_) return;
+            local = job_;
+            seen_generation = local.generation;
+        }
+
+        const std::int64_t begin =
+            std::min<std::int64_t>(local.count, index * local.chunk);
+        const std::int64_t end =
+            std::min<std::int64_t>(local.count, begin + local.chunk);
+        if (begin < end) (*local.body)(begin, end);
+
+        {
+            std::lock_guard lock(mutex_);
+            if (--remaining_ == 0) work_done_.notify_all();
+        }
+    }
+}
+
+} // namespace dlb

@@ -1,0 +1,61 @@
+// Thread-pool executor: the project's stand-in for the paper's OpenMP
+// parallel simulator.
+//
+// Workers are long-lived; parallel_for splits the index range into
+// contiguous chunks (one per worker) and blocks until all complete.
+// Determinism is preserved because all engine randomness is derived from
+// (seed, node, round) — chunking never changes results.
+#ifndef DLB_SIM_THREAD_POOL_HPP
+#define DLB_SIM_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/executor.hpp"
+
+namespace dlb {
+
+class thread_pool final : public executor {
+public:
+    /// `worker_count` 0 picks hardware_concurrency().
+    explicit thread_pool(unsigned worker_count = 0);
+    ~thread_pool() override;
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    unsigned worker_count() const noexcept
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    void parallel_for(std::int64_t count,
+                      const std::function<void(std::int64_t, std::int64_t)>& body) override;
+
+private:
+    struct job {
+        const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+        std::int64_t count = 0;
+        std::int64_t chunk = 0;
+        std::uint64_t generation = 0;
+    };
+
+    void worker_loop(unsigned index);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable work_ready_;
+    std::condition_variable work_done_;
+    job job_;
+    std::uint64_t generation_ = 0;
+    unsigned remaining_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace dlb
+
+#endif // DLB_SIM_THREAD_POOL_HPP

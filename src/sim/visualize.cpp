@@ -1,0 +1,69 @@
+#include "sim/visualize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace dlb {
+
+std::vector<std::uint8_t> render_torus_load(node_id width, node_id height,
+                                            std::span<const std::int64_t> load,
+                                            const render_options& options)
+{
+    const std::size_t n = static_cast<std::size_t>(width) * height;
+    if (load.size() != n)
+        throw std::invalid_argument("render_torus_load: load size mismatch");
+
+    double sum = 0.0;
+    for (const std::int64_t v : load) sum += static_cast<double>(v);
+    const double average = sum / static_cast<double>(n);
+
+    double scale = options.threshold;
+    if (options.mode == shading::adaptive) {
+        double extreme = 1.0;
+        for (const std::int64_t v : load)
+            extreme = std::max(extreme, std::abs(static_cast<double>(v) - average));
+        scale = extreme;
+    }
+
+    std::vector<std::uint8_t> pixels(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double distance = std::abs(static_cast<double>(load[i]) - average);
+        const double normalized = std::min(1.0, distance / scale);
+        pixels[i] = static_cast<std::uint8_t>(std::lround(255.0 * (1.0 - normalized)));
+    }
+    return pixels;
+}
+
+void write_torus_load_pgm(const std::string& path, node_id width, node_id height,
+                          std::span<const std::int64_t> load,
+                          const render_options& options)
+{
+    const auto pixels = render_torus_load(width, height, load, options);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) throw std::runtime_error("write_torus_load_pgm: cannot open " + path);
+    out << "P5\n" << width << ' ' << height << "\n255\n";
+    out.write(reinterpret_cast<const char*>(pixels.data()),
+              static_cast<std::streamsize>(pixels.size()));
+    if (!out) throw std::runtime_error("write_torus_load_pgm: write failed " + path);
+}
+
+load_pixel_stats torus_pixel_stats(std::span<const std::int64_t> load)
+{
+    load_pixel_stats stats;
+    if (load.empty()) return stats;
+    double sum = 0.0;
+    for (const std::int64_t v : load) sum += static_cast<double>(v);
+    const double average = sum / static_cast<double>(load.size());
+    for (const std::int64_t v : load) {
+        const double above = static_cast<double>(v) - average;
+        if (above > 10.0) ++stats.above_average_10;
+        if (above > 7.0) ++stats.above_average_7;
+        if (std::abs(above) <= 0.5) ++stats.at_average;
+        stats.max_above_average = std::max(stats.max_above_average, above);
+    }
+    return stats;
+}
+
+} // namespace dlb

@@ -1,0 +1,56 @@
+// Raster visualization of torus load states (paper Figures 9-11 and the
+// companion video).
+//
+// Each node of a width x height torus becomes one pixel. Two shadings:
+//  * adaptive  — light pixels are close to the average load, dark pixels
+//                close to the round's extreme deviation (Figures 9, 10)
+//  * threshold — white at the exact average, black at >= `threshold` tokens
+//                away, linear in between (Figure 11)
+// Output is binary 8-bit PGM (P5), viewable everywhere and dependency-free.
+#ifndef DLB_SIM_VISUALIZE_HPP
+#define DLB_SIM_VISUALIZE_HPP
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb {
+
+enum class shading {
+    adaptive,  // scale to the current max deviation
+    threshold, // fixed token distance mapped to full black
+};
+
+struct render_options {
+    shading mode = shading::adaptive;
+    double threshold = 10.0; // tokens-to-black for shading::threshold
+};
+
+/// Renders the grayscale image in memory; pixel (col, row) maps node
+/// row*width + col, value 255 = at average, 0 = extreme.
+std::vector<std::uint8_t> render_torus_load(node_id width, node_id height,
+                                            std::span<const std::int64_t> load,
+                                            const render_options& options = {});
+
+/// Renders and writes a binary PGM file. Throws std::runtime_error on I/O
+/// failure.
+void write_torus_load_pgm(const std::string& path, node_id width, node_id height,
+                          std::span<const std::int64_t> load,
+                          const render_options& options = {});
+
+/// Pixel statistics the paper reads off Figure 11.
+struct load_pixel_stats {
+    std::int64_t above_average_10 = 0; // nodes > avg + 10
+    std::int64_t above_average_7 = 0;  // nodes > avg + 7
+    std::int64_t at_average = 0;       // nodes within +-0.5 of avg
+    double max_above_average = 0.0;
+};
+
+load_pixel_stats torus_pixel_stats(std::span<const std::int64_t> load);
+
+} // namespace dlb
+
+#endif // DLB_SIM_VISUALIZE_HPP

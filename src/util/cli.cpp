@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace dlb {
+
+namespace {
+
+bool looks_like_option(const std::string& arg)
+{
+    return arg.size() > 2 && arg[0] == '-' && arg[1] == '-';
+}
+
+} // namespace
+
+cli_args::cli_args(int argc, const char* const* argv)
+{
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!looks_like_option(arg)) {
+            positional_.push_back(arg);
+            continue;
+        }
+        const std::string body = arg.substr(2);
+        const auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            options_[body.substr(0, eq)] = body.substr(eq + 1);
+            continue;
+        }
+        // `--key value` when the next token is not itself an option,
+        // otherwise a bare flag.
+        if (i + 1 < argc && !looks_like_option(argv[i + 1])) {
+            options_[body] = argv[i + 1];
+            ++i;
+        } else {
+            options_[body] = "";
+        }
+    }
+}
+
+bool cli_args::has(const std::string& name) const
+{
+    return options_.count(name) > 0;
+}
+
+std::string cli_args::get_string(const std::string& name,
+                                 const std::string& fallback) const
+{
+    const auto it = options_.find(name);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t cli_args::get_int(const std::string& name, std::int64_t fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    return std::stoll(it->second);
+}
+
+double cli_args::get_double(const std::string& name, double fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    return std::stod(it->second);
+}
+
+bool cli_args::get_bool(const std::string& name, bool fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end()) return fallback;
+    if (it->second.empty() || it->second == "1" || it->second == "true" ||
+        it->second == "yes" || it->second == "on")
+        return true;
+    if (it->second == "0" || it->second == "false" || it->second == "no" ||
+        it->second == "off")
+        return false;
+    throw std::invalid_argument("cli_args: bad boolean for --" + name);
+}
+
+} // namespace dlb

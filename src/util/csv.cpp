@@ -1,0 +1,64 @@
+#include "util/csv.hpp"
+
+#include <charconv>
+#include <stdexcept>
+
+namespace dlb {
+
+std::string format_double(double value)
+{
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, value);
+    if (ec != std::errc{}) throw std::runtime_error("format_double: to_chars failed");
+    return std::string(buf, ptr);
+}
+
+std::string csv_writer::escape(std::string_view cell)
+{
+    const bool needs_quoting =
+        cell.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quoting) return std::string{cell};
+    std::string quoted;
+    quoted.reserve(cell.size() + 2);
+    quoted.push_back('"');
+    for (const char c : cell) {
+        if (c == '"') quoted.push_back('"');
+        quoted.push_back(c);
+    }
+    quoted.push_back('"');
+    return quoted;
+}
+
+csv_writer::csv_writer(const std::string& path, std::vector<std::string> header)
+    : out_(path), width_(header.size())
+{
+    if (!out_) throw std::runtime_error("csv_writer: cannot open " + path);
+    if (width_ == 0) throw std::invalid_argument("csv_writer: empty header");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << escape(header[i]);
+    }
+    out_ << '\n';
+}
+
+void csv_writer::row(const std::vector<std::string>& cells)
+{
+    if (cells.size() != width_)
+        throw std::invalid_argument("csv_writer: row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+    ++rows_;
+}
+
+void csv_writer::row_numeric(const std::vector<double>& cells)
+{
+    std::vector<std::string> formatted;
+    formatted.reserve(cells.size());
+    for (const double v : cells) formatted.push_back(format_double(v));
+    row(formatted);
+}
+
+} // namespace dlb

@@ -1,0 +1,47 @@
+// Minimal CSV time-series writer used by the recorder and bench harness.
+#ifndef DLB_UTIL_CSV_HPP
+#define DLB_UTIL_CSV_HPP
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlb {
+
+/// Streams rows of numeric/string cells to a CSV file. Cells containing
+/// commas, quotes or newlines are quoted per RFC 4180.
+class csv_writer {
+public:
+    /// Opens `path` for writing and emits the header row.
+    /// Throws std::runtime_error when the file cannot be opened.
+    csv_writer(const std::string& path, std::vector<std::string> header);
+
+    csv_writer(const csv_writer&) = delete;
+    csv_writer& operator=(const csv_writer&) = delete;
+
+    /// Appends one row; the number of cells must match the header width.
+    void row(const std::vector<std::string>& cells);
+
+    /// Convenience overload formatting doubles with round-trip precision.
+    void row_numeric(const std::vector<double>& cells);
+
+    /// Number of data rows written so far (header excluded).
+    long rows_written() const noexcept { return rows_; }
+
+    /// Escapes a single cell per RFC 4180. Exposed for testing.
+    static std::string escape(std::string_view cell);
+
+private:
+    std::ofstream out_;
+    std::size_t width_;
+    long rows_ = 0;
+};
+
+/// Formats a double with enough digits to round-trip.
+std::string format_double(double value);
+
+} // namespace dlb
+
+#endif // DLB_UTIL_CSV_HPP

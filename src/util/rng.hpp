@@ -1,0 +1,119 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// The simulator derives an independent stream per (seed, node, round) by
+// hashing with splitmix64, so results are bit-identical regardless of the
+// number of worker threads. The base generator is xoshiro256**, which is
+// fast, has a 256-bit state and passes BigCrush.
+#ifndef DLB_UTIL_RNG_HPP
+#define DLB_UTIL_RNG_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace dlb {
+
+/// One splitmix64 step; used both as a stand-alone hash/mixer and to seed
+/// xoshiro state from a single 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// Stateless mix of up to three 64-bit words into one; used to derive
+/// per-(seed, node, round) substreams.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b = 0,
+                              std::uint64_t c = 0) noexcept
+{
+    std::uint64_t s = a;
+    std::uint64_t h = splitmix64(s);
+    s ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= splitmix64(s);
+    s ^= c + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    h ^= splitmix64(s);
+    return h;
+}
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm),
+/// satisfying the C++ UniformRandomBitGenerator concept.
+class xoshiro256ss {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds all 256 bits of state from a single value via splitmix64.
+    explicit constexpr xoshiro256ss(std::uint64_t seed = 0x5eed0123456789abULL) noexcept
+    {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept
+    {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    constexpr result_type operator()() noexcept
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1) with 53 random bits.
+    constexpr double next_double() noexcept
+    {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound) without modulo bias (Lemire rejection).
+    constexpr std::uint64_t next_below(std::uint64_t bound) noexcept
+    {
+        if (bound <= 1) return 0;
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            const std::uint64_t r = (*this)();
+            // Multiply-shift maps r into [0, bound); reject the biased tail.
+            const __uint128_t m = static_cast<__uint128_t>(r) * bound;
+            if (static_cast<std::uint64_t>(m) >= threshold)
+                return static_cast<std::uint64_t>(m >> 64);
+        }
+    }
+
+    /// True with probability p (p clamped to [0,1]).
+    constexpr bool next_bernoulli(double p) noexcept
+    {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return next_double() < p;
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+/// Derives the deterministic generator used for node `node` in round `round`
+/// of a run with master seed `seed`. Thread-count independent by design.
+inline xoshiro256ss stream_for(std::uint64_t seed, std::uint64_t node,
+                               std::uint64_t round) noexcept
+{
+    return xoshiro256ss{mix64(seed, node + 1, round + 1)};
+}
+
+} // namespace dlb
+
+#endif // DLB_UTIL_RNG_HPP

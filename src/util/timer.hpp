@@ -1,0 +1,31 @@
+// Wall-clock timing helpers for the bench harness.
+#ifndef DLB_UTIL_TIMER_HPP
+#define DLB_UTIL_TIMER_HPP
+
+#include <chrono>
+
+namespace dlb {
+
+/// Monotonic stopwatch; starts on construction.
+class stopwatch {
+public:
+    stopwatch() noexcept : start_(clock::now()) {}
+
+    /// Seconds elapsed since construction or the last reset().
+    double seconds() const noexcept
+    {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+    double milliseconds() const noexcept { return seconds() * 1e3; }
+
+    void reset() noexcept { start_ = clock::now(); }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+} // namespace dlb
+
+#endif // DLB_UTIL_TIMER_HPP

@@ -1,0 +1,93 @@
+// Tests for alpha_ij policies.
+#include <gtest/gtest.h>
+
+#include "core/alpha.hpp"
+#include "graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Alpha, MaxDegreePlusOneOnRegularGraph)
+{
+    const graph g = make_torus_2d(4, 4);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    for (const double a : alpha) EXPECT_DOUBLE_EQ(a, 0.2);
+    EXPECT_TRUE(alpha_is_valid(g, alpha));
+}
+
+TEST(Alpha, MaxDegreePlusOneOnStar)
+{
+    const graph g = make_star(5); // center degree 4, leaves degree 1
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    for (half_edge_id h = 0; h < g.num_half_edges(); ++h)
+        EXPECT_DOUBLE_EQ(alpha[h], 1.0 / 5.0);
+    EXPECT_TRUE(alpha_is_valid(g, alpha));
+}
+
+TEST(Alpha, MixedDegreesUseEdgeMaximum)
+{
+    // Path 0-1-2: degrees 1, 2, 1; every edge max degree 2 -> alpha 1/3.
+    const graph g = make_path(3);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    for (const double a : alpha) EXPECT_DOUBLE_EQ(a, 1.0 / 3.0);
+}
+
+TEST(Alpha, UniformGammaD)
+{
+    const graph g = make_hypercube(4); // d = 4
+    const auto alpha = make_alpha(g, alpha_policy::uniform_gamma_d, 2.0);
+    for (const double a : alpha) EXPECT_DOUBLE_EQ(a, 1.0 / 8.0);
+    EXPECT_TRUE(alpha_is_valid(g, alpha));
+}
+
+TEST(Alpha, UniformGammaRequiresGreaterThanOne)
+{
+    const graph g = make_cycle(5);
+    EXPECT_THROW(make_alpha(g, alpha_policy::uniform_gamma_d, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(make_alpha(g, alpha_policy::uniform_gamma_d, 0.5),
+                 std::invalid_argument);
+}
+
+TEST(Alpha, ValidityChecks)
+{
+    const graph g = make_cycle(4);
+    auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    EXPECT_TRUE(alpha_is_valid(g, alpha));
+
+    // Wrong size.
+    EXPECT_FALSE(alpha_is_valid(g, std::vector<double>(3, 0.1)));
+
+    // Asymmetric.
+    auto broken = alpha;
+    broken[0] += 0.01;
+    EXPECT_FALSE(alpha_is_valid(g, broken));
+
+    // Row sum > 1.
+    auto heavy = std::vector<double>(alpha.size(), 0.6);
+    EXPECT_FALSE(alpha_is_valid(g, heavy));
+
+    // Non-positive.
+    auto zeroed = alpha;
+    zeroed[0] = 0.0;
+    zeroed[g.twin(0)] = 0.0;
+    EXPECT_FALSE(alpha_is_valid(g, zeroed));
+}
+
+TEST(Alpha, DiagonalNonNegativity)
+{
+    // Paper-default alpha keeps 1 - sum_j alpha_ij >= 1/(d+1) > 0.
+    for (const graph& g :
+         {make_torus_2d(5, 5), make_star(8), make_complete(6), make_path(9)}) {
+        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            double sum = 0.0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h)
+                sum += alpha[h];
+            EXPECT_LT(sum, 1.0) << "node " << v;
+        }
+    }
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,134 @@
+// Process-level coverage for the alpha = 1/(gamma*d) policy (Observation 3)
+// and for graph families not in the main property sweep (Erdos-Renyi, grid).
+#include <gtest/gtest.h>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, UniformAlphaFosConvergesAndConserves)
+{
+    const double gamma = GetParam();
+    const graph g = make_hypercube(6);
+    const auto alpha = make_alpha(g, alpha_policy::uniform_gamma_d, gamma);
+    ASSERT_TRUE(alpha_is_valid(g, alpha));
+    const diffusion_config config{&g, alpha, speed_profile::uniform(g.num_nodes()),
+                                  fos_scheme()};
+    discrete_process proc(config, point_load(64, 0, 6400),
+                          rounding_kind::randomized, 77);
+    proc.run(1500);
+    EXPECT_TRUE(proc.verify_conservation());
+    EXPECT_LE(max_minus_average(proc.load()), 8.0) << "gamma " << gamma;
+}
+
+TEST_P(GammaSweep, LambdaShrinksWithSmallerGamma)
+{
+    // Larger gamma = lazier chain = larger lambda = slower convergence.
+    const double gamma = GetParam();
+    if (gamma >= 8.0) GTEST_SKIP() << "comparison uses the next smaller value";
+    const graph g = make_cycle(24);
+    const auto speeds = speed_profile::uniform(24);
+    const double lambda_here =
+        compute_lambda(g, make_alpha(g, alpha_policy::uniform_gamma_d, gamma),
+                       speeds);
+    const double lambda_lazier = compute_lambda(
+        g, make_alpha(g, alpha_policy::uniform_gamma_d, gamma * 2.0), speeds);
+    EXPECT_LT(lambda_here, lambda_lazier + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(1.5, 2.0, 4.0, 8.0),
+                         [](const auto& info) {
+                             return "gamma" +
+                                    std::to_string(static_cast<int>(
+                                        info.param * 10));
+                         });
+
+TEST(AlphaPolicies, BothPoliciesReachTheSameFixedPoint)
+{
+    const graph g = make_torus_2d(6, 6);
+    const auto speeds = speed_profile::uniform(36);
+    for (const auto policy :
+         {alpha_policy::max_degree_plus_one, alpha_policy::uniform_gamma_d}) {
+        const diffusion_config config{&g, make_alpha(g, policy, 2.0), speeds,
+                                      fos_scheme()};
+        continuous_process proc(config, to_continuous(point_load(36, 0, 3600)));
+        proc.run(3000);
+        for (const double v : proc.load()) EXPECT_NEAR(v, 100.0, 1e-6);
+    }
+}
+
+TEST(ErdosRenyiProcess, SosBalancesSupercriticalGraph)
+{
+    // G(n, p) above the connectivity threshold behaves like an expander.
+    const node_id n = 800;
+    const graph g = make_erdos_renyi(n, 0.02, 3);
+    ASSERT_TRUE(is_connected(g)); // p >> log(n)/n
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(n);
+    const double lambda = compute_lambda(g, alpha, speeds);
+    const diffusion_config config{&g, alpha, speeds,
+                                  sos_scheme(beta_opt(lambda))};
+    discrete_process proc(config, point_load(n, 0, n * 100LL),
+                          rounding_kind::randomized, 13);
+    proc.run(300);
+    EXPECT_TRUE(proc.verify_conservation());
+    EXPECT_LE(max_minus_average(proc.load()), 15.0);
+}
+
+TEST(GridProcess, OpenBoundariesBalanceSlowerThanTorus)
+{
+    // The grid's spectral gap is ~4x smaller than the torus's (open vs
+    // periodic boundaries), so FOS needs visibly more rounds.
+    const node_id side = 12;
+    const graph grid = make_grid_2d(side, side);
+    const graph torus = make_torus_2d(side, side);
+    const auto speeds = speed_profile::uniform(side * side);
+
+    auto rounds_to_balance = [&](const graph& g) {
+        const diffusion_config config{
+            &g, make_alpha(g, alpha_policy::max_degree_plus_one), speeds,
+            fos_scheme()};
+        discrete_process proc(config,
+                              point_load(g.num_nodes(), 0, g.num_nodes() * 100LL),
+                              rounding_kind::randomized, 5);
+        std::int64_t t = 0;
+        while (max_minus_average(proc.load()) > 10.0 && t < 20000) {
+            proc.step();
+            ++t;
+        }
+        return t;
+    };
+    const auto grid_rounds = rounds_to_balance(grid);
+    const auto torus_rounds = rounds_to_balance(torus);
+    EXPECT_GT(grid_rounds, torus_rounds);
+    EXPECT_LT(grid_rounds, 20000);
+}
+
+TEST(GridProcess, CornerLoadBalances)
+{
+    // Corner nodes have degree 2: alpha = 1/(max(2, 3)+1) on corner edges;
+    // the non-uniform alpha must still conserve and converge.
+    const graph g = make_grid_2d(8, 8);
+    const diffusion_config config{
+        &g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(64), fos_scheme()};
+    discrete_process proc(config, point_load(64, 0, 6400),
+                          rounding_kind::randomized, 21);
+    proc.run(4000);
+    EXPECT_TRUE(proc.verify_conservation());
+    EXPECT_LE(max_minus_average(proc.load()), 8.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,92 @@
+// Tests for beta_opt and the Table I reference values.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/beta.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Beta, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(beta_opt(0.0), 1.0);
+    EXPECT_NEAR(beta_opt(std::sqrt(3.0) / 2.0), 2.0 / 1.5, 1e-12);
+}
+
+TEST(Beta, MonotoneIncreasingInLambda)
+{
+    double previous = 0.0;
+    for (double lambda = 0.0; lambda < 0.9999; lambda += 0.01) {
+        const double beta = beta_opt(lambda);
+        EXPECT_GT(beta, previous);
+        previous = beta;
+    }
+}
+
+TEST(Beta, RangeIsOneToTwo)
+{
+    EXPECT_DOUBLE_EQ(beta_opt(0.0), 1.0);
+    EXPECT_LT(beta_opt(0.999999), 2.0);
+    EXPECT_GT(beta_opt(0.999999), 1.99);
+}
+
+TEST(Beta, RejectsBadLambda)
+{
+    EXPECT_THROW(beta_opt(-0.1), std::invalid_argument);
+    EXPECT_THROW(beta_opt(1.0), std::invalid_argument);
+    EXPECT_THROW(beta_opt(1.5), std::invalid_argument);
+}
+
+TEST(Beta, LambdaForBetaInverts)
+{
+    for (const double lambda : {0.1, 0.5, 0.9, 0.99, 0.9999}) {
+        EXPECT_NEAR(lambda_for_beta(beta_opt(lambda)), lambda, 1e-9);
+    }
+}
+
+TEST(Beta, LambdaForBetaValidation)
+{
+    EXPECT_THROW(lambda_for_beta(0.9), std::invalid_argument);
+    EXPECT_THROW(lambda_for_beta(2.0), std::invalid_argument);
+}
+
+TEST(Beta, ConvergenceFactor)
+{
+    EXPECT_DOUBLE_EQ(sos_convergence_factor(1.0), 0.0);
+    EXPECT_NEAR(sos_convergence_factor(1.81), std::sqrt(0.81), 1e-12);
+    EXPECT_THROW(sos_convergence_factor(2.5), std::invalid_argument);
+}
+
+TEST(Beta, Table1RowsArePresent)
+{
+    const auto rows = table1_reference();
+    ASSERT_EQ(rows.size(), 5u);
+    EXPECT_STREQ(rows[0].name, "torus-1000x1000");
+    EXPECT_EQ(rows[0].num_nodes, 1000000);
+    EXPECT_NEAR(rows[0].beta, 1.9920836447, 1e-12);
+    EXPECT_NEAR(rows[4].beta, 1.4026054847, 1e-12);
+}
+
+TEST(Beta, Table1BetasAreConsistentWithLambdaInversion)
+{
+    // Every Table I beta must map back to a lambda in (0, 1).
+    for (const auto& row : table1_reference()) {
+        const double lambda = lambda_for_beta(row.beta);
+        EXPECT_GT(lambda, 0.0) << row.name;
+        EXPECT_LT(lambda, 1.0) << row.name;
+        EXPECT_NEAR(beta_opt(lambda), row.beta, 1e-9) << row.name;
+    }
+}
+
+TEST(Beta, SosFasterThanFosForLargeLambda)
+{
+    // Convergence-time proxy: FOS ~ 1/(1-lambda), SOS ~ 1/sqrt(1-lambda).
+    const double lambda = 0.9999;
+    const double fos_rounds = 1.0 / (1.0 - lambda);
+    const double sos_rounds = 1.0 / std::sqrt(1.0 - lambda);
+    EXPECT_GT(fos_rounds / sos_rounds, 50.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,170 @@
+// Tests for the Chebyshev semi-iteration extension (Golub-Varga [18], the
+// method the paper's SOS is derived from).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+#include "sim/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+diffusion_config make_config(const graph& g, scheme_params scheme)
+{
+    return {&g, make_alpha(g, alpha_policy::max_degree_plus_one),
+            speed_profile::uniform(g.num_nodes()), scheme};
+}
+
+TEST(Chebyshev, OmegaRecurrenceValues)
+{
+    const double lambda = 0.9;
+    // omega_1 = 1 (warm-up), omega_2 = 1/(1 - l^2/2), then the recurrence.
+    EXPECT_DOUBLE_EQ(scheme_beta_for_round(chebyshev_scheme(lambda), 0), 1.0);
+    const double omega2 = 1.0 / (1.0 - lambda * lambda / 2.0);
+    EXPECT_DOUBLE_EQ(scheme_beta_for_round(chebyshev_scheme(lambda), 1), omega2);
+    const double omega3 = 1.0 / (1.0 - 0.25 * lambda * lambda * omega2);
+    EXPECT_DOUBLE_EQ(scheme_beta_for_round(chebyshev_scheme(lambda), 2), omega3);
+}
+
+TEST(Chebyshev, OmegaConvergesToBetaOpt)
+{
+    for (const double lambda : {0.5, 0.9, 0.99, 0.999}) {
+        const double omega_inf =
+            scheme_beta_for_round(chebyshev_scheme(lambda), 4000);
+        EXPECT_NEAR(omega_inf, beta_opt(lambda), 1e-6) << "lambda " << lambda;
+    }
+}
+
+TEST(Chebyshev, OmegaDescendsFromOmega2TowardBetaOpt)
+{
+    // The classical behavior of the Chebyshev omegas: omega_2 = 1/(1-l^2/2)
+    // overshoots beta_opt, and the sequence then decreases monotonically to
+    // the SOS fixed point beta_opt = 2/(1+sqrt(1-l^2)) from above.
+    const double lambda = 0.99;
+    const auto scheme = chebyshev_scheme(lambda);
+    const double target = beta_opt(lambda);
+    double previous = scheme_beta_for_round(scheme, 1);
+    EXPECT_GT(previous, target);
+    for (std::int64_t t = 2; t < 200; ++t) {
+        const double omega = scheme_beta_for_round(scheme, t);
+        EXPECT_LE(omega, previous + 1e-12) << "t=" << t;
+        EXPECT_GT(omega, target - 1e-9) << "t=" << t;
+        EXPECT_LT(omega, 2.0);
+        previous = omega;
+    }
+}
+
+TEST(Chebyshev, Validation)
+{
+    EXPECT_THROW(validate_scheme(chebyshev_scheme(1.0)), std::invalid_argument);
+    EXPECT_THROW(validate_scheme(chebyshev_scheme(-0.1)), std::invalid_argument);
+    EXPECT_NO_THROW(validate_scheme(chebyshev_scheme(0.0)));
+}
+
+TEST(Chebyshev, ContinuousConvergesAndConserves)
+{
+    const graph g = make_torus_2d(8, 8);
+    const double lambda = torus_2d_lambda(8, 8);
+    continuous_process proc(make_config(g, chebyshev_scheme(lambda)),
+                            to_continuous(point_load(64, 0, 6400)));
+    proc.run(1000);
+    EXPECT_NEAR(proc.total_load(), 6400.0, 1e-6);
+    for (const double v : proc.load()) EXPECT_NEAR(v, 100.0, 1e-6);
+}
+
+TEST(Chebyshev, AtLeastAsFastAsSosTransient)
+{
+    // Chebyshev is the round-optimal polynomial method: its potential after
+    // t rounds is no worse than SOS with beta_opt (both share the
+    // asymptotic rate; Chebyshev wins the transient).
+    const node_id side = 16;
+    const graph g = make_torus_2d(side, side);
+    const double lambda = torus_2d_lambda(side, side);
+    const auto initial = to_continuous(point_load(g.num_nodes(), 0,
+                                                  g.num_nodes() * 1000LL));
+
+    continuous_process chebyshev(make_config(g, chebyshev_scheme(lambda)), initial);
+    continuous_process sos(make_config(g, sos_scheme(beta_opt(lambda))), initial);
+    const std::vector<double> ideal(static_cast<std::size_t>(g.num_nodes()),
+                                    1000.0);
+    for (int t = 0; t < 120; ++t) {
+        chebyshev.step();
+        sos.step();
+    }
+    const double chebyshev_phi =
+        potential(chebyshev.load(), std::span<const double>(ideal));
+    const double sos_phi = potential(sos.load(), std::span<const double>(ideal));
+    EXPECT_LE(chebyshev_phi, sos_phi * 1.05);
+}
+
+TEST(Chebyshev, MuchFasterThanFos)
+{
+    const node_id side = 16;
+    const graph g = make_torus_2d(side, side);
+    const double lambda = torus_2d_lambda(side, side);
+    const auto initial = to_continuous(point_load(g.num_nodes(), 0,
+                                                  g.num_nodes() * 1000LL));
+    continuous_process chebyshev(make_config(g, chebyshev_scheme(lambda)), initial);
+    continuous_process fos(make_config(g, fos_scheme()), initial);
+    for (int t = 0; t < 150; ++t) {
+        chebyshev.step();
+        fos.step();
+    }
+    EXPECT_LT(max_minus_average(chebyshev.load()),
+              max_minus_average(fos.load()) / 10.0);
+}
+
+TEST(Chebyshev, DiscreteRandomizedRoundingWorks)
+{
+    const graph g = make_torus_2d(10, 10);
+    const double lambda = torus_2d_lambda(10, 10);
+    discrete_process proc(make_config(g, chebyshev_scheme(lambda)),
+                          point_load(100, 0, 100000),
+                          rounding_kind::randomized, 3);
+    proc.run(800);
+    EXPECT_TRUE(proc.verify_conservation());
+    EXPECT_LE(max_minus_average(proc.load()), 30.0);
+}
+
+TEST(Chebyshev, SwitchToFosDropsResidual)
+{
+    const graph g = make_torus_2d(10, 10);
+    const double lambda = torus_2d_lambda(10, 10);
+    discrete_process proc(make_config(g, chebyshev_scheme(lambda)),
+                          point_load(100, 0, 100000),
+                          rounding_kind::randomized, 4);
+    proc.run(400);
+    proc.set_scheme(fos_scheme());
+    proc.run(400);
+    EXPECT_LE(max_minus_average(proc.load()), 6.0);
+}
+
+TEST(Chebyshev, TransientNegativeLoadComparableToSos)
+{
+    // Chebyshev's omega_t exceeds beta_opt early (omega_2 overshoots, see
+    // OmegaDescendsFromOmega2TowardBetaOpt), so its transient dips are
+    // somewhat *deeper* than SOS's — but of the same order of magnitude.
+    const graph g = make_torus_2d(12, 12);
+    const double lambda = torus_2d_lambda(12, 12);
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 1000LL);
+
+    discrete_process cheb(make_config(g, chebyshev_scheme(lambda)), initial,
+                          rounding_kind::randomized, 5);
+    discrete_process sos(make_config(g, sos_scheme(beta_opt(lambda))), initial,
+                         rounding_kind::randomized, 5);
+    cheb.run(400);
+    sos.run(400);
+    EXPECT_LT(cheb.negative_stats().min_transient_load, 0.0);
+    EXPECT_LT(sos.negative_stats().min_transient_load, 0.0);
+    EXPECT_GE(cheb.negative_stats().min_transient_load,
+              3.0 * sos.negative_stats().min_transient_load);
+}
+
+} // namespace
+} // namespace dlb

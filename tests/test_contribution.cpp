@@ -1,0 +1,156 @@
+// Tests for contribution rows: the row recursion must match dense matrix
+// powers (FOS) and the Q(t) sequence (SOS), and Lemma 6 must hold against
+// brute-force twin runs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/contribution.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/process.hpp"
+#include "core/second_order_matrix.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Contribution, FosRowMatchesDensePower)
+{
+    const graph g = make_torus_2d(3, 4);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    const node_id k = 5;
+
+    contribution_rows rows(g, alpha, speeds, fos_scheme(), k);
+    const auto m = make_dense_diffusion_matrix(g, alpha, speeds);
+    dense_matrix power = dense_matrix::identity(12);
+
+    for (int t = 0; t < 15; ++t) {
+        for (node_id i = 0; i < 12; ++i)
+            EXPECT_NEAR(rows.row()[i], power(k, i), 1e-10)
+                << "t=" << t << " i=" << i;
+        rows.advance();
+        power = power.multiply(m);
+    }
+}
+
+TEST(Contribution, FosRowMatchesDensePowerHeterogeneous)
+{
+    const graph g = make_cycle(6);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::from_vector({1, 2, 1, 3, 1, 2});
+    const node_id k = 2;
+
+    contribution_rows rows(g, alpha, speeds, fos_scheme(), k);
+    const auto m = make_dense_diffusion_matrix(g, alpha, speeds);
+    dense_matrix power = dense_matrix::identity(6);
+    for (int t = 0; t < 12; ++t) {
+        for (node_id i = 0; i < 6; ++i)
+            EXPECT_NEAR(rows.row()[i], power(k, i), 1e-10)
+                << "t=" << t << " i=" << i;
+        rows.advance();
+        power = power.multiply(m);
+    }
+}
+
+TEST(Contribution, SosRowMatchesQSequence)
+{
+    const graph g = make_torus_2d(3, 3);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(9);
+    const double beta = 1.6;
+    const node_id k = 4;
+
+    contribution_rows rows(g, alpha, speeds, sos_scheme(beta), k);
+    const auto m = make_dense_diffusion_matrix(g, alpha, speeds);
+    q_sequence q(m, beta);
+    for (int t = 0; t < 15; ++t) {
+        for (node_id i = 0; i < 9; ++i)
+            EXPECT_NEAR(rows.row()[i], q.current()(k, i), 1e-10)
+                << "t=" << t << " i=" << i;
+        rows.advance();
+        q.advance();
+    }
+}
+
+TEST(Contribution, Lemma6AgainstBruteForceTwinRuns)
+{
+    // Definition 5: start two SOS processes from x = i-hat with y(0) = 0,
+    // and from x' = j-hat with y'_{i,j}(0) = 1. Then
+    // x(t) - x'(t) at node k equals Q_{k,i}(t-1) - Q_{k,j}(t-1).
+    const graph g = make_torus_2d(3, 3);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(9);
+    const double beta = 1.5;
+    const diffusion_config config{&g, alpha, speeds, sos_scheme(beta)};
+
+    // Pick the edge (i, j) and the observer k.
+    const node_id i = 0;
+    const node_id j = *g.neighbors(0).begin();
+    const node_id k = 7;
+
+    // Process A: x(1) = i-hat, y(0) = 0. Process B: x'(1) = j-hat,
+    // y'(0) = 1 on (i, j). We emulate "x(1), y(0)" by running the engine
+    // from round 1: construct engines whose state matches after their
+    // internal first round. Easiest faithful route: drive the flow rule
+    // manually through continuous_process by seeding previous flows via a
+    // first round that produces them. Instead we verify with the matrix
+    // form: x(t+1) = beta M x(t) + (1-beta) x(t-1) for both processes, with
+    // x(0) = x(1) = i-hat  (A: no flow moved before round 1)
+    // x'(0) = i-hat, x'(1) = j-hat (B: one token moved over (i, j)).
+    std::vector<double> a_prev(9, 0.0), a_cur(9, 0.0);
+    std::vector<double> b_prev(9, 0.0), b_cur(9, 0.0);
+    a_prev[i] = 1.0;
+    a_cur[i] = 1.0;
+    b_prev[i] = 1.0;
+    b_cur[j] = 1.0;
+
+    const auto m = make_dense_diffusion_matrix(g, alpha, speeds);
+    contribution_rows rows(g, alpha, speeds, sos_scheme(beta), k);
+    // rows holds Q(0); C(t) for t >= 1 uses Q(t-1).
+    for (int t = 1; t <= 12; ++t) {
+        const double contribution = rows.contribution(i, j); // Q(t-1) difference
+        EXPECT_NEAR(a_cur[k] - b_cur[k], contribution, 1e-10) << "t=" << t;
+
+        // Advance both twin processes one SOS round.
+        const auto a_next_m = m.multiply(a_cur);
+        const auto b_next_m = m.multiply(b_cur);
+        std::vector<double> a_next(9), b_next(9);
+        for (node_id v = 0; v < 9; ++v) {
+            a_next[v] = beta * a_next_m[v] + (1.0 - beta) * a_prev[v];
+            b_next[v] = beta * b_next_m[v] + (1.0 - beta) * b_prev[v];
+        }
+        a_prev = a_cur;
+        a_cur = a_next;
+        b_prev = b_cur;
+        b_cur = b_next;
+        rows.advance();
+    }
+}
+
+TEST(Contribution, DivergenceTermMatchesManualComputation)
+{
+    const graph g = make_path(4);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(4);
+    contribution_rows rows(g, alpha, speeds, fos_scheme(), 1);
+    // Row of M^0 = e_1: contributions are +-1 around node 1.
+    // sum_i max_j (r[i]-r[j])^2: node 0: (0-1)^2=1; node 1: (1-0)^2=1;
+    // node 2: (0-1)^2=1; node 3: (0-0)^2=0.
+    EXPECT_NEAR(rows.divergence_term(), 3.0, 1e-12);
+}
+
+TEST(Contribution, ValidatesAnchor)
+{
+    const graph g = make_cycle(4);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    EXPECT_THROW(contribution_rows(g, alpha, speed_profile::uniform(4),
+                                   fos_scheme(), 4),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dlb

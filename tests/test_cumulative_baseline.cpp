@@ -1,0 +1,97 @@
+// Tests for the cumulative-flow baseline [2]: bounded cumulative error and
+// O(d) deviation from its continuous twin.
+#include <gtest/gtest.h>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/cumulative_baseline.hpp"
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+#include "sim/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+diffusion_config make_config(const graph& g, scheme_params scheme)
+{
+    return {&g, make_alpha(g, alpha_policy::max_degree_plus_one),
+            speed_profile::uniform(g.num_nodes()), scheme};
+}
+
+TEST(CumulativeBaseline, ConservesTokens)
+{
+    const graph g = make_torus_2d(6, 6);
+    cumulative_process proc(make_config(g, fos_scheme()), point_load(36, 0, 7200));
+    proc.run(300);
+    EXPECT_TRUE(proc.verify_conservation());
+}
+
+TEST(CumulativeBaseline, CumulativeErrorAtMostHalf)
+{
+    const graph g = make_torus_2d(6, 6);
+    cumulative_process proc(make_config(g, fos_scheme()), point_load(36, 0, 3600));
+    for (int t = 0; t < 200; ++t) {
+        proc.step();
+        EXPECT_LE(proc.max_cumulative_error(), 0.5 + 1e-9) << "round " << t;
+    }
+}
+
+TEST(CumulativeBaseline, DeviationBoundedByDegreeOverTwo)
+{
+    // x^D_v - x^C_v = sum of adjacent cumulative errors, each <= 1/2.
+    const graph g = make_torus_2d(8, 8); // d = 4 -> bound 2
+    cumulative_process proc(make_config(g, fos_scheme()), point_load(64, 0, 6400));
+    for (int t = 0; t < 300; ++t) {
+        proc.step();
+        const double deviation =
+            max_deviation(proc.load(), proc.continuous_twin().load());
+        EXPECT_LE(deviation, 2.0 + 1e-9) << "round " << t;
+    }
+}
+
+TEST(CumulativeBaseline, SosDeviationAlsoBounded)
+{
+    const graph g = make_torus_2d(8, 8);
+    const double beta = beta_opt(torus_2d_lambda(8, 8));
+    cumulative_process proc(make_config(g, sos_scheme(beta)),
+                            point_load(64, 0, 64000));
+    for (int t = 0; t < 300; ++t) {
+        proc.step();
+        EXPECT_LE(max_deviation(proc.load(), proc.continuous_twin().load()),
+                  2.0 + 1e-9)
+            << "round " << t;
+    }
+}
+
+TEST(CumulativeBaseline, ReachesTightBalance)
+{
+    const graph g = make_torus_2d(8, 8);
+    cumulative_process proc(make_config(g, fos_scheme()), point_load(64, 0, 6400));
+    proc.run(2500);
+    // Continuous FOS fully balances; the discrete track stays within d/2.
+    EXPECT_LE(max_minus_average(proc.load()), 3.0);
+}
+
+TEST(CumulativeBaseline, BalancedStaysBalanced)
+{
+    const graph g = make_cycle(10);
+    cumulative_process proc(make_config(g, fos_scheme()), balanced_load(10, 50));
+    proc.run(100);
+    for (const auto v : proc.load()) EXPECT_EQ(v, 50);
+}
+
+TEST(CumulativeBaseline, SchemeSwitchPropagatesToTwin)
+{
+    const graph g = make_torus_2d(5, 5);
+    const double beta = beta_opt(torus_2d_lambda(5, 5));
+    cumulative_process proc(make_config(g, sos_scheme(beta)),
+                            point_load(25, 0, 2500));
+    proc.run(30);
+    proc.set_scheme(fos_scheme());
+    proc.run(400);
+    EXPECT_LE(max_minus_average(proc.load()), 3.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,111 @@
+// Tests for dense matrix arithmetic and vector helpers.
+#include <gtest/gtest.h>
+
+#include "linalg/dense_matrix.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(DenseMatrix, IdentityMultiplication)
+{
+    dense_matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 3.0;
+    a(1, 1) = 4.0;
+    const auto id = dense_matrix::identity(2);
+    EXPECT_EQ(a.multiply(id).max_abs_diff(a), 0.0);
+    EXPECT_EQ(id.multiply(a).max_abs_diff(a), 0.0);
+}
+
+TEST(DenseMatrix, KnownProduct)
+{
+    dense_matrix a(2, 3), b(3, 2);
+    // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+    double value = 1.0;
+    for (std::size_t i = 0; i < 2; ++i)
+        for (std::size_t j = 0; j < 3; ++j) a(i, j) = value++;
+    for (std::size_t i = 0; i < 3; ++i)
+        for (std::size_t j = 0; j < 2; ++j) b(i, j) = value++;
+    const auto c = a.multiply(b);
+    EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+    EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+    EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+    EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows)
+{
+    dense_matrix a(2, 3), b(2, 3);
+    EXPECT_THROW(a.multiply(b), std::invalid_argument);
+    EXPECT_THROW(a.linear_combination(1.0, 1.0, dense_matrix(3, 3)),
+                 std::invalid_argument);
+}
+
+TEST(DenseMatrix, VectorMultiply)
+{
+    dense_matrix a(2, 2);
+    a(0, 0) = 1.0;
+    a(0, 1) = 2.0;
+    a(1, 0) = 3.0;
+    a(1, 1) = 4.0;
+    const std::vector<double> x{1.0, -1.0};
+    const auto y = a.multiply(x);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+    const auto yt = a.multiply_transposed(x);
+    EXPECT_DOUBLE_EQ(yt[0], -2.0);
+    EXPECT_DOUBLE_EQ(yt[1], -2.0);
+}
+
+TEST(DenseMatrix, TransposeAndLinearCombination)
+{
+    dense_matrix a(2, 3);
+    a(0, 2) = 5.0;
+    const auto at = a.transposed();
+    EXPECT_EQ(at.rows(), 3u);
+    EXPECT_EQ(at.cols(), 2u);
+    EXPECT_DOUBLE_EQ(at(2, 0), 5.0);
+
+    dense_matrix b(2, 2), c(2, 2);
+    b(0, 0) = 1.0;
+    c(0, 0) = 2.0;
+    const auto combo = b.linear_combination(3.0, -1.0, c);
+    EXPECT_DOUBLE_EQ(combo(0, 0), 1.0);
+}
+
+TEST(DenseMatrix, Norms)
+{
+    dense_matrix a(2, 2);
+    a(0, 0) = 3.0;
+    a(1, 1) = -4.0;
+    EXPECT_DOUBLE_EQ(a.frobenius_norm(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(VectorOps, DotNormAxpyScale)
+{
+    std::vector<double> a{1.0, 2.0, 3.0};
+    const std::vector<double> b{4.0, 5.0, 6.0};
+    EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+    EXPECT_DOUBLE_EQ(norm2(std::vector<double>{3.0, 4.0}), 5.0);
+    axpy(2.0, b, a); // a += 2b
+    EXPECT_DOUBLE_EQ(a[0], 9.0);
+    EXPECT_DOUBLE_EQ(a[2], 15.0);
+    scale(a, 0.5);
+    EXPECT_DOUBLE_EQ(a[0], 4.5);
+}
+
+TEST(DenseMatrix, RowAccess)
+{
+    dense_matrix a(2, 3);
+    a(1, 0) = 7.0;
+    const auto row = a.row(1);
+    EXPECT_EQ(row.size(), 3u);
+    EXPECT_DOUBLE_EQ(row[0], 7.0);
+    a.row(0)[2] = 9.0;
+    EXPECT_DOUBLE_EQ(a(0, 2), 9.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,152 @@
+// Tests for the refined local divergence Upsilon_C(G) and its theoretical
+// envelopes (Observation 3, Theorem 4, Theorem 9).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/divergence.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Divergence, ConvergesOnCompleteGraph)
+{
+    // K_n balances in one round: the series is tiny and must converge fast.
+    const graph g = make_complete(10);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto result = refined_local_divergence(
+        g, alpha, speed_profile::uniform(10), fos_scheme(), 0);
+    EXPECT_FALSE(result.truncated);
+    // The s=0 term alone contributes sqrt(n) = sqrt(10); later terms are
+    // negligible because K_n mixes in one round.
+    EXPECT_GT(result.upsilon, 3.0);
+    EXPECT_LT(result.upsilon, 3.5);
+    EXPECT_LT(result.terms, 100);
+}
+
+TEST(Divergence, FosUpsilonWithinTheorem4Envelope)
+{
+    // Theorem 4: Upsilon_FOS = O(sqrt(d log s_max / (1-lambda))). For the
+    // homogeneous case log s_max degenerates; use the known
+    // Observation-3-style scale sqrt(d/(1-lambda)) and allow a generous
+    // constant.
+    for (const node_id side : {5, 8, 12}) {
+        const graph g = make_torus_2d(side, side);
+        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+        const double lambda = torus_2d_lambda(side, side);
+        const auto result = refined_local_divergence(
+            g, alpha, speed_profile::uniform(g.num_nodes()), fos_scheme(), 0);
+        const double envelope = 4.0 * std::sqrt(4.0 / (1.0 - lambda));
+        EXPECT_LT(result.upsilon, envelope) << "side " << side;
+        EXPECT_GT(result.upsilon, 0.5) << "side " << side;
+    }
+}
+
+TEST(Divergence, GrowsWithShrinkingSpectralGap)
+{
+    const auto upsilon_for = [](node_id side) {
+        const graph g = make_torus_2d(side, side);
+        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+        return refined_local_divergence(g, alpha,
+                                        speed_profile::uniform(g.num_nodes()),
+                                        fos_scheme(), 0)
+            .upsilon;
+    };
+    EXPECT_LT(upsilon_for(4), upsilon_for(8));
+    EXPECT_LT(upsilon_for(8), upsilon_for(16));
+}
+
+TEST(Divergence, SosAndFosUpsilonComparableOnTorus)
+{
+    // Theorems 4 and 9 bound Upsilon_FOS by (1-lambda)^{-1/2} and
+    // Upsilon_SOS by (1-lambda)^{-3/4} — upper bounds, not orderings of the
+    // actual values. Empirically on the torus the two series are the same
+    // order of magnitude (SOS mixes faster, which shortens its series and
+    // can make its measured Upsilon *smaller*). Pin that both are finite,
+    // positive and within a factor 4 of each other.
+    const graph g = make_torus_2d(12, 12);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const double lambda = torus_2d_lambda(12, 12);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    const auto fos =
+        refined_local_divergence(g, alpha, speeds, fos_scheme(), 0);
+    const auto sos = refined_local_divergence(g, alpha, speeds,
+                                              sos_scheme(beta_opt(lambda)), 0);
+    EXPECT_GT(sos.upsilon, 0.0);
+    EXPECT_GT(fos.upsilon, 0.0);
+    EXPECT_LT(sos.upsilon, 4.0 * fos.upsilon);
+    EXPECT_LT(fos.upsilon, 4.0 * sos.upsilon);
+}
+
+TEST(Divergence, SosWithinTheorem9Envelope)
+{
+    const graph g = make_torus_2d(10, 10);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const double lambda = torus_2d_lambda(10, 10);
+    const auto result = refined_local_divergence(
+        g, alpha, speed_profile::uniform(g.num_nodes()),
+        sos_scheme(beta_opt(lambda)), 0);
+    const double envelope =
+        8.0 * std::sqrt(4.0) / std::pow(1.0 - lambda, 0.75);
+    EXPECT_LT(result.upsilon, envelope);
+}
+
+TEST(Divergence, VertexTransitiveGraphsAnchorInvariant)
+{
+    // On a torus every anchor gives the same Upsilon.
+    const graph g = make_torus_2d(5, 5);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(25);
+    const double reference =
+        refined_local_divergence(g, alpha, speeds, fos_scheme(), 0).upsilon;
+    for (const node_id k : {3, 12, 24}) {
+        const double upsilon =
+            refined_local_divergence(g, alpha, speeds, fos_scheme(), k).upsilon;
+        EXPECT_NEAR(upsilon, reference, 1e-6 * reference) << "anchor " << k;
+    }
+}
+
+TEST(Divergence, MaxOverAnchors)
+{
+    const graph g = make_star(6);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(6);
+    const std::vector<node_id> anchors{0, 1, 2};
+    const auto best = refined_local_divergence_max(g, alpha, speeds, fos_scheme(),
+                                                   anchors);
+    for (const node_id k : anchors) {
+        EXPECT_GE(best.upsilon + 1e-12,
+                  refined_local_divergence(g, alpha, speeds, fos_scheme(), k)
+                      .upsilon);
+    }
+}
+
+TEST(Divergence, TruncationFlagOnTinyBudget)
+{
+    const graph g = make_torus_2d(8, 8);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    divergence_options options;
+    options.max_terms = 3;
+    const auto result = refined_local_divergence(
+        g, alpha, speed_profile::uniform(64), fos_scheme(), 0, options);
+    EXPECT_TRUE(result.truncated);
+    EXPECT_EQ(result.terms, 3);
+}
+
+TEST(Divergence, HeterogeneousRunsAndIsFinite)
+{
+    const graph g = make_torus_2d(5, 5);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::bimodal(25, 0.4, 4.0, 5);
+    const auto result =
+        refined_local_divergence(g, alpha, speeds, fos_scheme(), 0);
+    EXPECT_TRUE(std::isfinite(result.upsilon));
+    EXPECT_GT(result.upsilon, 0.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,150 @@
+// Tests for the eigenvector-impact analyzer (both backends).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/process.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+#include "sim/eigen_impact.hpp"
+#include "sim/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(EigenImpact, TorusBackendConstantLoad)
+{
+    const auto analyzer = eigen_impact_analyzer::for_torus(6, 6);
+    EXPECT_EQ(analyzer.dimension(), 36u);
+    const std::vector<double> flat(36, 7.0);
+    const auto sample = analyzer.analyze(std::span<const double>(flat));
+    EXPECT_NEAR(sample.max_abs_coefficient, 0.0, 1e-9);
+}
+
+TEST(EigenImpact, JacobiBackendConstantLoad)
+{
+    const graph g = make_cycle(12);
+    const auto analyzer = eigen_impact_analyzer::for_graph(
+        g, make_alpha(g, alpha_policy::max_degree_plus_one));
+    const std::vector<double> flat(12, 3.0);
+    const auto sample = analyzer.analyze(std::span<const double>(flat));
+    EXPECT_NEAR(sample.max_abs_coefficient, 0.0, 1e-9);
+}
+
+TEST(EigenImpact, BackendsAgreeOnTorusPerEigenspace)
+{
+    // Torus eigenspaces are degenerate, so the Jacobi basis is an arbitrary
+    // rotation of the Fourier basis within each eigenspace: per-vector
+    // coefficients differ, but the projection *norm per eigenspace* is
+    // basis-independent. Compare those.
+    const node_id w = 5, h = 4;
+    const graph g = make_torus_2d(w, h);
+    const auto torus = eigen_impact_analyzer::for_torus(w, h);
+    const auto jacobi = eigen_impact_analyzer::for_graph(
+        g, make_alpha(g, alpha_policy::max_degree_plus_one));
+
+    std::vector<double> load(20, 0.0);
+    load[7] = 100.0;
+    load[13] = -40.0;
+    const auto ca = torus.coefficients(load);
+    const auto cb = jacobi.coefficients(load);
+
+    auto group_norms = [](const eigen_impact_analyzer& analyzer,
+                          const std::vector<double>& coeffs) {
+        std::vector<std::pair<double, double>> groups; // (eigenvalue, norm^2)
+        for (std::size_t k = 0; k < coeffs.size(); ++k) {
+            const double mu = analyzer.eigenvalue(k);
+            if (groups.empty() || std::abs(groups.back().first - mu) > 1e-9)
+                groups.emplace_back(mu, 0.0);
+            groups.back().second += coeffs[k] * coeffs[k];
+        }
+        return groups;
+    };
+    const auto ga = group_norms(torus, ca);
+    const auto gb = group_norms(jacobi, cb);
+    ASSERT_EQ(ga.size(), gb.size());
+    for (std::size_t i = 0; i < ga.size(); ++i) {
+        EXPECT_NEAR(ga[i].first, gb[i].first, 1e-8) << "group " << i;
+        EXPECT_NEAR(ga[i].second, gb[i].second, 1e-6 * (1.0 + ga[i].second))
+            << "group " << i;
+    }
+}
+
+TEST(EigenImpact, EigenvaluesSortedDescending)
+{
+    const auto analyzer = eigen_impact_analyzer::for_torus(5, 5);
+    for (std::size_t k = 1; k < analyzer.dimension(); ++k)
+        EXPECT_LE(analyzer.eigenvalue(k), analyzer.eigenvalue(k - 1) + 1e-12);
+    EXPECT_NEAR(analyzer.eigenvalue(0), 1.0, 1e-12);
+}
+
+TEST(EigenImpact, CoefficientDecaysAtEigenvalueRateUnderFos)
+{
+    // Run FOS; every coefficient must decay by exactly its eigenvalue per
+    // round (this is the linear-algebra heart of metric 4).
+    const node_id side = 6;
+    const graph g = make_torus_2d(side, side);
+    const diffusion_config config{
+        &g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(g.num_nodes()), fos_scheme()};
+    continuous_process proc(config, to_continuous(point_load(36, 0, 3600)));
+    const auto analyzer = eigen_impact_analyzer::for_torus(side, side);
+
+    auto before = analyzer.coefficients(proc.load());
+    for (int t = 0; t < 10; ++t) {
+        proc.step();
+        const auto after = analyzer.coefficients(proc.load());
+        for (std::size_t k = 0; k < after.size(); ++k)
+            EXPECT_NEAR(after[k], analyzer.eigenvalue(k) * before[k], 1e-8)
+                << "t=" << t << " rank=" << k;
+        before = after;
+    }
+}
+
+TEST(EigenImpact, A4LeadsOnTorusAfterSosConvergesPaperFigure7)
+{
+    // Miniature of Figure 7: on a torus under SOS, after the bulk mixing
+    // rounds the leading coefficient settles on the slowest non-constant
+    // eigenspace (ranks 1-4, the paper's a_4 block).
+    const node_id side = 10;
+    const graph g = make_torus_2d(side, side);
+    const double beta = beta_opt(torus_2d_lambda(side, side));
+    const diffusion_config config{
+        &g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(g.num_nodes()), sos_scheme(beta)};
+    continuous_process proc(config, to_continuous(point_load(100, 0, 100000)));
+    const auto analyzer = eigen_impact_analyzer::for_torus(side, side);
+
+    proc.run(60); // past the bulk-mixing phase for the 10x10 torus
+    const auto sample = analyzer.analyze(proc.load());
+    EXPECT_GE(sample.leading_rank, 1u);
+    EXPECT_LE(sample.leading_rank, 4u);
+    // The leading eigenvalue equals lambda.
+    EXPECT_NEAR(analyzer.eigenvalue(sample.leading_rank),
+                torus_2d_lambda(side, side), 1e-12);
+}
+
+TEST(EigenImpact, IntegerOverloadMatchesDouble)
+{
+    const auto analyzer = eigen_impact_analyzer::for_torus(4, 4);
+    std::vector<std::int64_t> load(16, 0);
+    load[3] = 17;
+    std::vector<double> as_double(load.begin(), load.end());
+    const auto a = analyzer.analyze(std::span<const std::int64_t>(load));
+    const auto b = analyzer.analyze(std::span<const double>(as_double));
+    EXPECT_DOUBLE_EQ(a.max_abs_coefficient, b.max_abs_coefficient);
+    EXPECT_EQ(a.leading_rank, b.leading_rank);
+}
+
+TEST(EigenImpact, SizeValidation)
+{
+    const auto analyzer = eigen_impact_analyzer::for_torus(4, 4);
+    EXPECT_THROW(analyzer.analyze(std::span<const double>(std::vector<double>(5))),
+                 std::invalid_argument);
+    EXPECT_THROW(analyzer.eigenvalue(16), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dlb

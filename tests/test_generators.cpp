@@ -1,0 +1,216 @@
+// Tests for every graph generator: node/edge counts, degrees, structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Torus2d, CountsAndRegularity)
+{
+    const graph g = make_torus_2d(5, 7);
+    EXPECT_EQ(g.num_nodes(), 35);
+    EXPECT_EQ(g.num_edges(), 2 * 35);
+    for (node_id v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Torus2d, WrapAroundNeighbors)
+{
+    const graph g = make_torus_2d(4, 4);
+    // Node 0 = (col 0, row 0): neighbors (1,0), (3,0), (0,1), (0,3).
+    EXPECT_TRUE(g.has_edge(0, 1));
+    EXPECT_TRUE(g.has_edge(0, 3));
+    EXPECT_TRUE(g.has_edge(0, 4));
+    EXPECT_TRUE(g.has_edge(0, 12));
+    EXPECT_FALSE(g.has_edge(0, 5));
+}
+
+TEST(Torus2d, MinimumSideEnforced)
+{
+    EXPECT_THROW(make_torus_2d(2, 5), std::invalid_argument);
+    EXPECT_THROW(make_torus_2d(5, 2), std::invalid_argument);
+    EXPECT_NO_THROW(make_torus_2d(3, 3));
+}
+
+TEST(TorusKd, ThreeDimensional)
+{
+    const graph g = make_torus_kd({3, 4, 5});
+    EXPECT_EQ(g.num_nodes(), 60);
+    for (node_id v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 6);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(TorusKd, MatchesTorus2d)
+{
+    const graph a = make_torus_kd({5, 6});
+    const graph b = make_torus_2d(5, 6);
+    EXPECT_EQ(a.num_nodes(), b.num_nodes());
+    EXPECT_EQ(a.num_edges(), b.num_edges());
+    EXPECT_EQ(a.edge_list(), b.edge_list());
+}
+
+TEST(Grid2d, BoundaryDegrees)
+{
+    const graph g = make_grid_2d(4, 3);
+    EXPECT_EQ(g.num_nodes(), 12);
+    EXPECT_EQ(g.num_edges(), 3 * 3 + 4 * 2); // horizontal + vertical
+    EXPECT_EQ(g.degree(0), 2);               // corner
+    EXPECT_EQ(g.degree(1), 3);               // edge
+    EXPECT_EQ(g.degree(5), 4);               // interior
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Hypercube, CountsAndStructure)
+{
+    const graph g = make_hypercube(5);
+    EXPECT_EQ(g.num_nodes(), 32);
+    EXPECT_EQ(g.num_edges(), 32 * 5 / 2);
+    for (node_id v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 5);
+    // Neighbors differ in exactly one bit.
+    for (node_id v = 0; v < g.num_nodes(); ++v)
+        for (const node_id u : g.neighbors(v))
+            EXPECT_EQ(__builtin_popcount(static_cast<unsigned>(v ^ u)), 1);
+    EXPECT_TRUE(is_connected(g));
+    EXPECT_TRUE(is_bipartite(g));
+}
+
+TEST(Cycle, Structure)
+{
+    const graph g = make_cycle(10);
+    EXPECT_EQ(g.num_edges(), 10);
+    for (node_id v = 0; v < 10; ++v) EXPECT_EQ(g.degree(v), 2);
+    EXPECT_EQ(diameter_exact(g), 5);
+}
+
+TEST(Path, Structure)
+{
+    const graph g = make_path(10);
+    EXPECT_EQ(g.num_edges(), 9);
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(9), 1);
+    EXPECT_EQ(g.degree(5), 2);
+    EXPECT_EQ(diameter_exact(g), 9);
+}
+
+TEST(Complete, Structure)
+{
+    const graph g = make_complete(8);
+    EXPECT_EQ(g.num_edges(), 8 * 7 / 2);
+    for (node_id v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 7);
+    EXPECT_EQ(diameter_exact(g), 1);
+}
+
+TEST(Star, Structure)
+{
+    const graph g = make_star(9);
+    EXPECT_EQ(g.num_edges(), 8);
+    EXPECT_EQ(g.degree(0), 8);
+    for (node_id v = 1; v < 9; ++v) EXPECT_EQ(g.degree(v), 1);
+}
+
+TEST(RandomRegularCm, NearRegularAndDeterministic)
+{
+    const graph g = make_random_regular_cm(2000, 10, 99);
+    EXPECT_EQ(g.num_nodes(), 2000);
+    // Erased configuration model: at most d, and almost always close to d.
+    std::int64_t degree_sum = 0;
+    for (node_id v = 0; v < g.num_nodes(); ++v) {
+        EXPECT_LE(g.degree(v), 10);
+        degree_sum += g.degree(v);
+    }
+    // Less than 1% of stubs erased, typically.
+    EXPECT_GE(degree_sum, static_cast<std::int64_t>(0.99 * 2000 * 10));
+
+    const graph g2 = make_random_regular_cm(2000, 10, 99);
+    EXPECT_EQ(g.edge_list(), g2.edge_list());
+    const graph g3 = make_random_regular_cm(2000, 10, 100);
+    EXPECT_NE(g.edge_list(), g3.edge_list());
+}
+
+TEST(RandomRegularCm, OddProductRejected)
+{
+    EXPECT_THROW(make_random_regular_cm(5, 3, 1), std::invalid_argument);
+}
+
+TEST(RandomRegularExact, ExactlyRegular)
+{
+    const graph g = make_random_regular_exact(100, 4, 7);
+    for (node_id v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 4);
+}
+
+TEST(RandomRegularExact, ConnectedWhp)
+{
+    // d >= 3 random regular graphs are connected w.h.p.
+    const graph g = make_random_regular_exact(500, 4, 3);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation)
+{
+    const node_id n = 500;
+    const double p = 0.05;
+    const graph g = make_erdos_renyi(n, p, 11);
+    const double expected = p * n * (n - 1) / 2.0;
+    EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 4 * std::sqrt(expected));
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities)
+{
+    EXPECT_EQ(make_erdos_renyi(50, 0.0, 1).num_edges(), 0);
+    EXPECT_EQ(make_erdos_renyi(50, 1.0, 1).num_edges(), 50 * 49 / 2);
+}
+
+TEST(ErdosRenyi, Deterministic)
+{
+    const graph a = make_erdos_renyi(200, 0.02, 5);
+    const graph b = make_erdos_renyi(200, 0.02, 5);
+    EXPECT_EQ(a.edge_list(), b.edge_list());
+}
+
+TEST(RandomGeometric, ConnectedByConstruction)
+{
+    // Small radius leaves isolated nodes that must be reattached to the
+    // giant component (the paper's post-processing).
+    const graph g = make_random_geometric(500, 1.2, 21);
+    EXPECT_EQ(g.num_nodes(), 500);
+    EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomGeometric, EdgesRespectRadiusBeforeReattachment)
+{
+    std::vector<double> coords;
+    const double radius = rgg_paper_radius(400);
+    const graph g = make_random_geometric(400, radius, 31, &coords);
+    ASSERT_EQ(coords.size(), 800u);
+    // Count long edges: only reattachment edges may exceed the radius, and
+    // those are few (isolated components are rare at this radius).
+    std::int64_t long_edges = 0;
+    for (const auto& [u, v] : g.edge_list()) {
+        const double dx = coords[2 * u] - coords[2 * v];
+        const double dy = coords[2 * u + 1] - coords[2 * v + 1];
+        if (std::sqrt(dx * dx + dy * dy) > radius + 1e-9) ++long_edges;
+    }
+    EXPECT_LE(long_edges, g.num_edges() / 20);
+}
+
+TEST(RandomGeometric, DeterministicInSeed)
+{
+    const graph a = make_random_geometric(300, 1.5, 77);
+    const graph b = make_random_geometric(300, 1.5, 77);
+    EXPECT_EQ(a.edge_list(), b.edge_list());
+}
+
+TEST(RggPaperRadius, Formula)
+{
+    EXPECT_NEAR(rgg_paper_radius(10000), std::sqrt(std::log(10000.0)), 1e-12);
+    EXPECT_NEAR(rgg_paper_radius(10000, 2.0), 2.0 * std::sqrt(std::log(10000.0)),
+                1e-12);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,95 @@
+// Tests for BFS, components, diameter and bipartiteness.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Components, SingleComponent)
+{
+    const graph g = make_cycle(12);
+    const auto comps = connected_components(g);
+    EXPECT_EQ(comps.count, 1);
+    for (const int label : comps.label) EXPECT_EQ(label, 0);
+}
+
+TEST(Components, MultipleComponents)
+{
+    // Two triangles, no connection.
+    const std::vector<edge> edges{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+    const graph g = graph::from_edge_list(6, edges);
+    const auto comps = connected_components(g);
+    EXPECT_EQ(comps.count, 2);
+    EXPECT_EQ(comps.label[0], comps.label[1]);
+    EXPECT_EQ(comps.label[0], comps.label[2]);
+    EXPECT_EQ(comps.label[3], comps.label[4]);
+    EXPECT_NE(comps.label[0], comps.label[3]);
+    EXPECT_FALSE(is_connected(g));
+}
+
+TEST(Components, IsolatedNodesAreComponents)
+{
+    const graph g = graph::from_edge_list(4, std::vector<edge>{{0, 1}});
+    EXPECT_EQ(connected_components(g).count, 3);
+}
+
+TEST(Bfs, DistancesOnPath)
+{
+    const graph g = make_path(6);
+    const auto dist = bfs_distances(g, 0);
+    for (node_id v = 0; v < 6; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableIsMinusOne)
+{
+    const graph g = graph::from_edge_list(3, std::vector<edge>{{0, 1}});
+    const auto dist = bfs_distances(g, 0);
+    EXPECT_EQ(dist[2], -1);
+}
+
+TEST(Diameter, KnownValues)
+{
+    EXPECT_EQ(diameter_exact(make_cycle(8)), 4);
+    EXPECT_EQ(diameter_exact(make_cycle(9)), 4);
+    EXPECT_EQ(diameter_exact(make_path(7)), 6);
+    EXPECT_EQ(diameter_exact(make_complete(5)), 1);
+    EXPECT_EQ(diameter_exact(make_hypercube(6)), 6);
+    EXPECT_EQ(diameter_exact(make_torus_2d(5, 5)), 4);
+}
+
+TEST(Diameter, DisconnectedIsMinusOne)
+{
+    const graph g = graph::from_edge_list(4, std::vector<edge>{{0, 1}, {2, 3}});
+    EXPECT_EQ(diameter_exact(g), -1);
+}
+
+TEST(DiameterDoubleSweep, LowerBoundsExact)
+{
+    for (const graph& g : {make_cycle(20), make_torus_2d(6, 8), make_hypercube(5)}) {
+        const auto sweep = diameter_double_sweep(g);
+        const auto exact = diameter_exact(g);
+        EXPECT_LE(sweep, exact);
+        EXPECT_GE(sweep, exact / 2); // classic double-sweep guarantee
+    }
+}
+
+TEST(DiameterDoubleSweep, ExactOnPath)
+{
+    EXPECT_EQ(diameter_double_sweep(make_path(31)), 30);
+}
+
+TEST(Bipartite, Classification)
+{
+    EXPECT_TRUE(is_bipartite(make_path(8)));
+    EXPECT_TRUE(is_bipartite(make_cycle(8)));
+    EXPECT_FALSE(is_bipartite(make_cycle(9)));
+    EXPECT_TRUE(is_bipartite(make_hypercube(4)));
+    EXPECT_FALSE(is_bipartite(make_complete(3)));
+    EXPECT_TRUE(is_bipartite(make_torus_2d(4, 6)));  // even sides
+    EXPECT_FALSE(is_bipartite(make_torus_2d(5, 4))); // odd side -> odd cycle
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,64 @@
+// Tests for the hybrid SOS->FOS switch controller.
+#include <gtest/gtest.h>
+
+#include "core/hybrid.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Hybrid, NeverPolicy)
+{
+    hybrid_controller controller(switch_policy::never());
+    for (int t = 0; t < 100; ++t)
+        EXPECT_FALSE(controller.should_switch(t, 0.0, 0.0));
+    EXPECT_FALSE(controller.switched());
+    EXPECT_EQ(controller.switch_round(), -1);
+}
+
+TEST(Hybrid, AtRoundFiresOnceAtTheRound)
+{
+    hybrid_controller controller(switch_policy::at(10));
+    for (int t = 0; t < 10; ++t)
+        EXPECT_FALSE(controller.should_switch(t, 100.0, 100.0)) << t;
+    EXPECT_TRUE(controller.should_switch(10, 100.0, 100.0));
+    EXPECT_TRUE(controller.switched());
+    EXPECT_EQ(controller.switch_round(), 10);
+    // Never again.
+    EXPECT_FALSE(controller.should_switch(11, 100.0, 100.0));
+}
+
+TEST(Hybrid, LocalThreshold)
+{
+    hybrid_controller controller(switch_policy::when_local_below(10.0));
+    EXPECT_FALSE(controller.should_switch(0, 50.0, 5.0));
+    EXPECT_FALSE(controller.should_switch(1, 10.5, 5.0));
+    EXPECT_TRUE(controller.should_switch(2, 10.0, 500.0)); // <= threshold
+    EXPECT_EQ(controller.switch_round(), 2);
+}
+
+TEST(Hybrid, GlobalThreshold)
+{
+    hybrid_controller controller(switch_policy::when_global_below(7.0));
+    EXPECT_FALSE(controller.should_switch(0, 0.0, 8.0));
+    EXPECT_TRUE(controller.should_switch(1, 1000.0, 6.5));
+}
+
+TEST(Hybrid, SwitchIsOneWay)
+{
+    hybrid_controller controller(switch_policy::when_local_below(10.0));
+    EXPECT_TRUE(controller.should_switch(0, 5.0, 0.0));
+    // Metric going back above the threshold doesn't un-switch.
+    EXPECT_FALSE(controller.should_switch(1, 100.0, 0.0));
+    EXPECT_TRUE(controller.switched());
+}
+
+TEST(Hybrid, PolicyFactories)
+{
+    EXPECT_EQ(switch_policy::never().mode, switch_policy::trigger::never);
+    EXPECT_EQ(switch_policy::at(5).round, 5);
+    EXPECT_DOUBLE_EQ(switch_policy::when_local_below(2.5).threshold, 2.5);
+    EXPECT_DOUBLE_EQ(switch_policy::when_global_below(1.5).threshold, 1.5);
+}
+
+} // namespace
+} // namespace dlb

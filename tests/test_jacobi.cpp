@@ -1,0 +1,127 @@
+// Tests for the Jacobi symmetric eigensolver (the LAPACK substitute).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/alpha.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/speeds.hpp"
+#include "graph/generators.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Jacobi, DiagonalMatrix)
+{
+    dense_matrix a(3, 3);
+    a(0, 0) = 3.0;
+    a(1, 1) = 1.0;
+    a(2, 2) = 2.0;
+    const auto eigen = jacobi_eigen(a);
+    ASSERT_EQ(eigen.values.size(), 3u);
+    EXPECT_DOUBLE_EQ(eigen.values[0], 3.0);
+    EXPECT_DOUBLE_EQ(eigen.values[1], 2.0);
+    EXPECT_DOUBLE_EQ(eigen.values[2], 1.0);
+}
+
+TEST(Jacobi, TwoByTwoAnalytic)
+{
+    dense_matrix a(2, 2);
+    a(0, 0) = 2.0;
+    a(0, 1) = 1.0;
+    a(1, 0) = 1.0;
+    a(1, 1) = 2.0;
+    const auto eigen = jacobi_eigen(a);
+    EXPECT_NEAR(eigen.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(eigen.values[1], 1.0, 1e-12);
+}
+
+TEST(Jacobi, RejectsAsymmetric)
+{
+    dense_matrix a(2, 2);
+    a(0, 1) = 1.0;
+    EXPECT_THROW(jacobi_eigen(a), std::invalid_argument);
+}
+
+TEST(Jacobi, RejectsNonSquare)
+{
+    EXPECT_THROW(jacobi_eigen(dense_matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Jacobi, EigenvectorsAreOrthonormal)
+{
+    // Random-ish symmetric matrix.
+    const std::size_t n = 12;
+    dense_matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) {
+            const double value = std::sin(static_cast<double>(i * 31 + j * 17));
+            a(i, j) = value;
+            a(j, i) = value;
+        }
+    const auto eigen = jacobi_eigen(a);
+    for (std::size_t p = 0; p < n; ++p) {
+        for (std::size_t q = 0; q < n; ++q) {
+            double inner = 0.0;
+            for (std::size_t i = 0; i < n; ++i)
+                inner += eigen.vectors(i, p) * eigen.vectors(i, q);
+            EXPECT_NEAR(inner, p == q ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+TEST(Jacobi, ReconstructsMatrix)
+{
+    const std::size_t n = 8;
+    dense_matrix a(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = i; j < n; ++j) {
+            const double value = 1.0 / (1.0 + static_cast<double>(i + j));
+            a(i, j) = value;
+            a(j, i) = value;
+        }
+    const auto eigen = jacobi_eigen(a);
+    // A == V diag(w) V^T.
+    dense_matrix reconstructed(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            double acc = 0.0;
+            for (std::size_t k = 0; k < n; ++k)
+                acc += eigen.vectors(i, k) * eigen.values[k] * eigen.vectors(j, k);
+            reconstructed(i, j) = acc;
+        }
+    EXPECT_LT(reconstructed.max_abs_diff(a), 1e-9);
+}
+
+TEST(Jacobi, CycleDiffusionMatrixMatchesAnalyticSpectrum)
+{
+    const node_id n = 16;
+    const graph g = make_cycle(n);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto m =
+        make_dense_diffusion_matrix(g, alpha, speed_profile::uniform(n));
+    const auto eigen = jacobi_eigen(m);
+    const auto analytic = cycle_spectrum(n);
+    ASSERT_EQ(eigen.values.size(), analytic.size());
+    for (std::size_t i = 0; i < analytic.size(); ++i)
+        EXPECT_NEAR(eigen.values[i], analytic[i], 1e-10) << "index " << i;
+}
+
+TEST(Jacobi, SmallTorusMatchesAnalyticSpectrum)
+{
+    const graph g = make_torus_2d(4, 5);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto m = make_dense_diffusion_matrix(
+        g, alpha, speed_profile::uniform(g.num_nodes()));
+    const auto eigen = jacobi_eigen(m);
+    const auto analytic = torus_2d_spectrum(4, 5);
+    ASSERT_EQ(eigen.values.size(), analytic.size());
+    for (std::size_t i = 0; i < analytic.size(); ++i)
+        EXPECT_NEAR(eigen.values[i], analytic[i], 1e-10) << "index " << i;
+}
+
+} // namespace
+} // namespace dlb

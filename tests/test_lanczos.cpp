@@ -1,0 +1,124 @@
+// Tests for the Lanczos extreme-eigenvalue solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/alpha.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/speeds.hpp"
+#include "graph/generators.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/lanczos.hpp"
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+namespace {
+
+/// Dense operator wrapper.
+auto dense_apply(const dense_matrix& m)
+{
+    return [&m](std::span<const double> x, std::span<double> y) {
+        const auto result = m.multiply(x);
+        std::copy(result.begin(), result.end(), y.begin());
+    };
+}
+
+TEST(Lanczos, DiagonalOperatorExtremes)
+{
+    const std::size_t n = 50;
+    dense_matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = static_cast<double>(i) / static_cast<double>(n - 1); // [0, 1]
+    const auto result = lanczos_extreme_eigenvalues(dense_apply(m), n, {});
+    EXPECT_NEAR(result.largest, 1.0, 1e-8);
+    EXPECT_NEAR(result.smallest, 0.0, 1e-8);
+    EXPECT_TRUE(result.converged);
+}
+
+TEST(Lanczos, DeflationRemovesTopEigenvalue)
+{
+    const std::size_t n = 40;
+    dense_matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    m(0, 0) = 5.0; // top eigenpair: e_0 with value 5
+    std::vector<double> top(n, 0.0);
+    top[0] = 1.0;
+    const std::vector<std::vector<double>> deflate{top};
+    const auto result = lanczos_extreme_eigenvalues(dense_apply(m), n, deflate);
+    EXPECT_NEAR(result.largest, 1.0, 1e-8);
+}
+
+TEST(Lanczos, CycleLambdaMatchesAnalytic)
+{
+    for (const node_id n : {8, 16, 33}) {
+        const graph g = make_cycle(n);
+        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+        const double lambda =
+            compute_lambda(g, alpha, speed_profile::uniform(n));
+        EXPECT_NEAR(lambda, cycle_lambda(n), 1e-8) << "n=" << n;
+    }
+}
+
+TEST(Lanczos, TorusLambdaMatchesAnalytic)
+{
+    const graph g = make_torus_2d(8, 10);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const double lambda =
+        compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()));
+    EXPECT_NEAR(lambda, torus_2d_lambda(8, 10), 1e-8);
+}
+
+TEST(Lanczos, HypercubeLambdaMatchesAnalytic)
+{
+    const graph g = make_hypercube(7);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const double lambda =
+        compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()));
+    EXPECT_NEAR(lambda, hypercube_lambda(7), 1e-8);
+}
+
+TEST(Lanczos, CompleteGraphLambdaIsZero)
+{
+    const graph g = make_complete(20);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const double lambda =
+        compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()));
+    // K_n with alpha = 1/n: all non-trivial eigenvalues are exactly 0.
+    EXPECT_NEAR(lambda, 0.0, 1e-7);
+}
+
+TEST(Lanczos, HeterogeneousLambdaMatchesDenseJacobi)
+{
+    const graph g = make_torus_2d(4, 4);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    std::vector<double> speeds(16, 1.0);
+    for (std::size_t i = 0; i < speeds.size(); i += 3) speeds[i] = 4.0;
+    const auto profile = speed_profile::from_vector(speeds);
+
+    const double lanczos_lambda = compute_lambda(g, alpha, profile);
+
+    // Reference: dense eigensolve on the symmetrized matrix.
+    const auto sym = make_symmetrized_diffusion_operator(g, alpha, profile);
+    dense_matrix dense(16, 16);
+    for (node_id v = 0; v < 16; ++v) {
+        std::vector<double> unit(16, 0.0);
+        unit[v] = 1.0;
+        const auto column = sym.apply(unit);
+        for (node_id u = 0; u < 16; ++u) dense(u, v) = column[u];
+    }
+    const auto eigen = jacobi_eigen(dense);
+    // eigen.values sorted descending; top is 1. lambda = max(|v2|, |vn|).
+    const double reference =
+        std::max(std::abs(eigen.values[1]), std::abs(eigen.values.back()));
+    EXPECT_NEAR(lanczos_lambda, reference, 1e-7);
+}
+
+TEST(Lanczos, EmptyOperatorThrows)
+{
+    EXPECT_THROW(
+        lanczos_extreme_eigenvalues([](auto, auto) {}, 0, {}),
+        std::invalid_argument);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,128 @@
+// Tests for the Section VI metrics and the remaining-imbalance tracker.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "graph/generators.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Metrics, MaxMinusAverage)
+{
+    const std::vector<std::int64_t> load{10, 20, 30};
+    EXPECT_DOUBLE_EQ(max_minus_average(std::span<const std::int64_t>(load)), 10.0);
+    const std::vector<double> flat{5.0, 5.0, 5.0};
+    EXPECT_DOUBLE_EQ(max_minus_average(std::span<const double>(flat)), 0.0);
+}
+
+TEST(Metrics, MaxMinusIdeal)
+{
+    const std::vector<std::int64_t> load{10, 20};
+    const std::vector<double> ideal{12.0, 15.0};
+    EXPECT_DOUBLE_EQ(
+        max_minus_ideal(std::span<const std::int64_t>(load), ideal), 5.0);
+}
+
+TEST(Metrics, MaxLocalDifference)
+{
+    const graph g = make_path(4);
+    const std::vector<std::int64_t> load{0, 10, 3, 4};
+    EXPECT_DOUBLE_EQ(max_local_difference(g, std::span<const std::int64_t>(load)),
+                     10.0);
+}
+
+TEST(Metrics, MaxLocalDifferenceIgnoresNonEdges)
+{
+    // Star: only center-leaf differences matter.
+    const graph g = make_star(4);
+    const std::vector<std::int64_t> load{5, 0, 10, 5};
+    // Edges: (0,1): 5, (0,2): 5, (0,3): 0. Leaf-leaf difference 10 ignored.
+    EXPECT_DOUBLE_EQ(max_local_difference(g, std::span<const std::int64_t>(load)),
+                     5.0);
+}
+
+TEST(Metrics, NormalizedLocalDifference)
+{
+    const graph g = make_path(2);
+    const std::vector<std::int64_t> load{10, 30};
+    const std::vector<double> speeds{1.0, 3.0};
+    EXPECT_DOUBLE_EQ(max_local_difference_normalized(
+                         g, std::span<const std::int64_t>(load), speeds),
+                     0.0);
+}
+
+TEST(Metrics, Potential)
+{
+    const std::vector<std::int64_t> load{0, 10};
+    const std::vector<double> ideal{5.0, 5.0};
+    EXPECT_DOUBLE_EQ(potential(std::span<const std::int64_t>(load), ideal), 50.0);
+    EXPECT_DOUBLE_EQ(potential_homogeneous(std::span<const std::int64_t>(load)),
+                     50.0);
+}
+
+TEST(Metrics, MinLoadAndDeviation)
+{
+    const std::vector<std::int64_t> load{3, -2, 7};
+    EXPECT_DOUBLE_EQ(min_load(std::span<const std::int64_t>(load)), -2.0);
+
+    const std::vector<std::int64_t> a{1, 2, 3};
+    const std::vector<double> b{1.5, 2.0, 0.0};
+    EXPECT_DOUBLE_EQ(
+        max_deviation(std::span<const std::int64_t>(a), std::span<const double>(b)),
+        3.0);
+}
+
+TEST(Metrics, DeltaInfinity)
+{
+    const std::vector<double> load{9.0, 11.0};
+    const std::vector<double> ideal{10.0, 10.0};
+    EXPECT_DOUBLE_EQ(delta_infinity(std::span<const double>(load), ideal), 1.0);
+}
+
+TEST(ImbalanceTracker, DetectsPlateau)
+{
+    imbalance_tracker tracker(10, 0.01);
+    // Steady improvement: never converged.
+    for (int i = 0; i < 50; ++i) tracker.observe(1000.0 / (i + 1));
+    EXPECT_FALSE(tracker.converged());
+    // Plateau at ~8 for a full window.
+    for (int i = 0; i < 12; ++i) tracker.observe(8.0 + (i % 3));
+    EXPECT_TRUE(tracker.converged());
+    EXPECT_NEAR(tracker.remaining(), 9.0, 1.0);
+}
+
+TEST(ImbalanceTracker, SmallFluctuationsDontResetPlateau)
+{
+    imbalance_tracker tracker(5, 0.05);
+    tracker.observe(100.0);
+    // Tiny improvements below 5% don't count as progress.
+    for (int i = 0; i < 6; ++i) tracker.observe(99.0 - i * 0.1);
+    EXPECT_TRUE(tracker.converged());
+}
+
+TEST(ImbalanceTracker, LargeImprovementResets)
+{
+    imbalance_tracker tracker(5, 0.01);
+    for (int i = 0; i < 6; ++i) tracker.observe(100.0);
+    EXPECT_TRUE(tracker.converged());
+    tracker.observe(10.0); // big improvement: plateau broken
+    EXPECT_FALSE(tracker.converged());
+}
+
+TEST(ImbalanceTracker, Validation)
+{
+    EXPECT_THROW(imbalance_tracker(0), std::invalid_argument);
+    EXPECT_THROW(imbalance_tracker(10, -1.0), std::invalid_argument);
+}
+
+TEST(Metrics, EmptyInputs)
+{
+    EXPECT_DOUBLE_EQ(max_minus_average(std::span<const double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(potential_homogeneous(std::span<const double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(min_load(std::span<const double>{}), 0.0);
+}
+
+} // namespace
+} // namespace dlb

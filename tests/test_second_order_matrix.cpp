@@ -1,0 +1,148 @@
+// Tests for the Q(t)/M(t) recursions and the Lemma 7 properties.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/second_order_matrix.hpp"
+#include "graph/generators.hpp"
+#include "linalg/jacobi.hpp"
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+namespace {
+
+dense_matrix torus_m(node_id w, node_id h)
+{
+    const graph g = make_torus_2d(w, h);
+    return make_dense_diffusion_matrix(
+        g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(g.num_nodes()));
+}
+
+TEST(QSequence, InitialAndFirstTerms)
+{
+    const auto m = torus_m(3, 3);
+    const double beta = 1.5;
+    q_sequence q(m, beta);
+    EXPECT_EQ(q.t(), 0);
+    EXPECT_LT(q.current().max_abs_diff(dense_matrix::identity(9)), 1e-15);
+
+    q.advance(); // Q(1) = beta*M
+    dense_matrix beta_m = m.linear_combination(0.0, beta, m);
+    EXPECT_LT(q.current().max_abs_diff(beta_m), 1e-12);
+}
+
+TEST(QSequence, RecursionMatchesDirectComputation)
+{
+    const auto m = torus_m(3, 4);
+    const double beta = 1.7;
+    q_sequence q(m, beta);
+    // Direct: Q(2) = beta*M*Q(1) + (1-beta)*Q(0).
+    q.advance();
+    const dense_matrix q1 = q.current();
+    q.advance();
+    const dense_matrix expected =
+        m.multiply(q1).linear_combination(beta, 1.0 - beta,
+                                          dense_matrix::identity(12));
+    EXPECT_LT(q.current().max_abs_diff(expected), 1e-12);
+}
+
+TEST(QSequence, EqualColumnSumsLemma7_3)
+{
+    const auto m = torus_m(3, 4);
+    q_sequence q(m, 1.8);
+    for (int t = 0; t < 12; ++t) {
+        const auto sums = q_sequence::column_sums(q.current());
+        for (std::size_t j = 1; j < sums.size(); ++j)
+            EXPECT_NEAR(sums[j], sums[0], 1e-10) << "t=" << t << " col " << j;
+        q.advance();
+    }
+}
+
+TEST(QSequence, EigenvalueEnvelopeLemma7_2)
+{
+    // All eigenvalues of Q(t) (except the top one) obey
+    // |gamma_j(t)| <= (sqrt(beta-1))^t (t+1) when beta = beta_opt(lambda).
+    const node_id w = 4, h = 4;
+    const auto m = torus_m(w, h);
+    const double lambda = torus_2d_lambda(w, h);
+    const double beta = beta_opt(lambda);
+
+    q_sequence q(m, beta);
+    for (int t = 0; t <= 20; ++t) {
+        const auto eigen = jacobi_eigen(q.current().linear_combination(
+            0.5, 0.5, q.current().transposed())); // symmetrize (Q is symmetric
+                                                  // here; belt and braces)
+        const double envelope = q_sequence::eigenvalue_envelope(beta, t);
+        // Skip the single top eigenvalue (the stochastic direction).
+        for (std::size_t j = 1; j < eigen.values.size(); ++j)
+            EXPECT_LE(std::abs(eigen.values[j]), envelope + 1e-9)
+                << "t=" << t << " j=" << j;
+        q.advance();
+    }
+}
+
+TEST(QSequence, ScalarRecursionMatchesMatrixEigenvalues)
+{
+    // gamma_j(t) from the scalar recursion equals the eigenvalue of Q(t)
+    // associated with eigenvalue lambda_j of M.
+    const auto m = torus_m(3, 3);
+    const double beta = 1.6;
+    const auto m_eigen = jacobi_eigen(m);
+
+    q_sequence q(m, beta);
+    for (int t = 0; t < 8; ++t) {
+        // Q(t) v_j = gamma_j(t) v_j for every eigenvector v_j of M.
+        for (std::size_t j = 0; j < m_eigen.values.size(); ++j) {
+            std::vector<double> v(m_eigen.values.size());
+            for (std::size_t i = 0; i < v.size(); ++i) v[i] = m_eigen.vectors(i, j);
+            const auto image = q.current().multiply(v);
+            const double gamma =
+                q_sequence::eigenvalue_recursion(m_eigen.values[j], beta, t);
+            for (std::size_t i = 0; i < v.size(); ++i)
+                EXPECT_NEAR(image[i], gamma * v[i], 1e-9)
+                    << "t=" << t << " j=" << j << " i=" << i;
+        }
+        q.advance();
+    }
+}
+
+TEST(QSequence, ValidatesArguments)
+{
+    EXPECT_THROW(q_sequence(dense_matrix(2, 3), 1.5), std::invalid_argument);
+    EXPECT_THROW(q_sequence(dense_matrix::identity(2), 2.0), std::invalid_argument);
+    EXPECT_THROW(q_sequence(dense_matrix::identity(2), 0.0), std::invalid_argument);
+}
+
+TEST(MSequence, MatchesPowersWhenBetaNearOne)
+{
+    // With beta -> 1 the SOS recursion degenerates to M(t) = M^t.
+    const auto m = torus_m(3, 3);
+    m_sequence seq(m, 1.0 - 1e-12);
+    dense_matrix power = dense_matrix::identity(9);
+    for (int t = 0; t < 6; ++t) {
+        EXPECT_LT(seq.current().max_abs_diff(power), 1e-6) << "t=" << t;
+        seq.advance();
+        power = m.multiply(power);
+    }
+}
+
+TEST(MSequence, RowsSumToOne)
+{
+    // M(t) maps load vectors to load vectors conserving totals: columns sum
+    // to 1 (homogeneous M is doubly stochastic, so rows too).
+    const auto m = torus_m(4, 3);
+    m_sequence seq(m, 1.7);
+    for (int t = 0; t < 10; ++t) {
+        const auto sums = q_sequence::column_sums(seq.current());
+        for (const double s : sums) EXPECT_NEAR(s, 1.0, 1e-10) << "t=" << t;
+        seq.advance();
+    }
+}
+
+} // namespace
+} // namespace dlb

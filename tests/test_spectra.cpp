@@ -1,0 +1,109 @@
+// Tests for analytic spectra, including the Table I beta cross-checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/beta.hpp"
+#include "linalg/spectra.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Spectra, TorusModeZeroIsOne)
+{
+    EXPECT_DOUBLE_EQ(torus_2d_mode_eigenvalue(10, 10, 0, 0), 1.0);
+}
+
+TEST(Spectra, TorusEigenvaluesWithinBand)
+{
+    // M = I - L/5 on a 4-regular graph: eigenvalues in [1 - 8/5, 1].
+    for (const auto values = torus_2d_spectrum(6, 7); const double mu : values) {
+        EXPECT_LE(mu, 1.0 + 1e-12);
+        EXPECT_GE(mu, -0.6 - 1e-12);
+    }
+}
+
+TEST(Spectra, TorusLambdaIsSecondLargestMagnitude)
+{
+    for (const node_id w : {4, 5, 8}) {
+        for (const node_id h : {4, 6, 9}) {
+            const auto values = torus_2d_spectrum(w, h);
+            double expected = 0.0;
+            for (const double mu : values)
+                if (std::abs(std::abs(mu) - 1.0) > 1e-12)
+                    expected = std::max(expected, std::abs(mu));
+            EXPECT_NEAR(torus_2d_lambda(w, h), expected, 1e-12)
+                << "w=" << w << " h=" << h;
+        }
+    }
+}
+
+TEST(Spectra, TorusKdMatches2dCase)
+{
+    EXPECT_NEAR(torus_kd_lambda({10, 12}), torus_2d_lambda(10, 12), 1e-12);
+}
+
+TEST(Spectra, HypercubeKnownValues)
+{
+    EXPECT_DOUBLE_EQ(hypercube_lambda(1), 0.0);
+    EXPECT_DOUBLE_EQ(hypercube_lambda(3), 0.5);
+    EXPECT_DOUBLE_EQ(hypercube_lambda(20), 19.0 / 21.0);
+}
+
+TEST(Spectra, CycleSpectrumSortedAndComplete)
+{
+    const auto values = cycle_spectrum(12);
+    ASSERT_EQ(values.size(), 12u);
+    EXPECT_DOUBLE_EQ(values.front(), 1.0);
+    for (std::size_t i = 1; i < values.size(); ++i)
+        EXPECT_LE(values[i], values[i - 1]);
+}
+
+TEST(Spectra, CompleteLambdaZero)
+{
+    EXPECT_DOUBLE_EQ(complete_lambda(10), 0.0);
+}
+
+// --- Table I reproduction: analytic lambda -> beta_opt must match the
+// --- paper's printed beta values. The paper computed lambda numerically
+// --- (LAPACK), so the last 2-3 printed digits differ from the closed form;
+// --- agreement to 1e-6 pins the same parameterization.
+
+TEST(Table1, Torus1000)
+{
+    const double lambda = torus_2d_lambda(1000, 1000);
+    EXPECT_NEAR(beta_opt(lambda), 1.9920836447, 1e-6);
+}
+
+TEST(Table1, Torus100)
+{
+    const double lambda = torus_2d_lambda(100, 100);
+    EXPECT_NEAR(beta_opt(lambda), 1.9235874877, 1e-6);
+}
+
+TEST(Table1, Hypercube20)
+{
+    const double lambda = hypercube_lambda(20);
+    EXPECT_NEAR(beta_opt(lambda), 1.4026054847, 1e-6);
+}
+
+TEST(Spectra, InvalidArguments)
+{
+    EXPECT_THROW(torus_2d_lambda(2, 5), std::invalid_argument);
+    EXPECT_THROW(cycle_lambda(2), std::invalid_argument);
+    EXPECT_THROW(hypercube_lambda(0), std::invalid_argument);
+    EXPECT_THROW(complete_lambda(1), std::invalid_argument);
+    EXPECT_THROW(torus_kd_lambda({}), std::invalid_argument);
+}
+
+TEST(Spectra, GapShrinksWithTorusSize)
+{
+    const double gap10 = spectral_gap(torus_2d_lambda(10, 10));
+    const double gap100 = spectral_gap(torus_2d_lambda(100, 100));
+    EXPECT_GT(gap10, gap100);
+    // Asymptotically gap ~ (2/5) * (2 pi / w)^2 / 2: ratio ~ 100.
+    EXPECT_NEAR(gap10 / gap100, 100.0, 5.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,104 @@
+// Tests for heterogeneous speed profiles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/speeds.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Speeds, UniformProfile)
+{
+    const auto p = speed_profile::uniform(10);
+    EXPECT_TRUE(p.is_uniform());
+    EXPECT_EQ(p.size(), 10);
+    EXPECT_DOUBLE_EQ(p.total(), 10.0);
+    EXPECT_DOUBLE_EQ(p.max_speed(), 1.0);
+    EXPECT_DOUBLE_EQ(p.min_speed(), 1.0);
+    for (node_id v = 0; v < 10; ++v) EXPECT_DOUBLE_EQ(p.speed(v), 1.0);
+}
+
+TEST(Speeds, FromVector)
+{
+    const auto p = speed_profile::from_vector({1.0, 2.0, 3.0});
+    EXPECT_FALSE(p.is_uniform());
+    EXPECT_DOUBLE_EQ(p.total(), 6.0);
+    EXPECT_DOUBLE_EQ(p.max_speed(), 3.0);
+    EXPECT_DOUBLE_EQ(p.min_speed(), 1.0);
+    EXPECT_DOUBLE_EQ(p.speed(1), 2.0);
+}
+
+TEST(Speeds, AllOnesCollapsesToUniform)
+{
+    const auto p = speed_profile::from_vector({1.0, 1.0, 1.0});
+    EXPECT_TRUE(p.is_uniform());
+}
+
+TEST(Speeds, RejectsSpeedBelowOne)
+{
+    EXPECT_THROW(speed_profile::from_vector({1.0, 0.5}), std::invalid_argument);
+    EXPECT_THROW(speed_profile::from_vector({-1.0}), std::invalid_argument);
+}
+
+TEST(Speeds, IdealLoadProportionalToSpeed)
+{
+    const auto p = speed_profile::from_vector({1.0, 3.0});
+    const auto ideal = p.ideal_load(100.0);
+    EXPECT_DOUBLE_EQ(ideal[0], 25.0);
+    EXPECT_DOUBLE_EQ(ideal[1], 75.0);
+}
+
+TEST(Speeds, IdealLoadSumsToTotal)
+{
+    const auto p = speed_profile::bimodal(100, 0.3, 8.0, 42);
+    const auto ideal = p.ideal_load(1234.0);
+    EXPECT_NEAR(std::accumulate(ideal.begin(), ideal.end(), 0.0), 1234.0, 1e-9);
+}
+
+TEST(Speeds, BimodalCounts)
+{
+    const auto p = speed_profile::bimodal(100, 0.25, 4.0, 7);
+    int fast = 0;
+    for (node_id v = 0; v < 100; ++v) {
+        if (p.speed(v) == 4.0)
+            ++fast;
+        else
+            EXPECT_DOUBLE_EQ(p.speed(v), 1.0);
+    }
+    EXPECT_EQ(fast, 25);
+    EXPECT_DOUBLE_EQ(p.max_speed(), 4.0);
+}
+
+TEST(Speeds, BimodalDeterministicInSeed)
+{
+    const auto a = speed_profile::bimodal(50, 0.5, 2.0, 9);
+    const auto b = speed_profile::bimodal(50, 0.5, 2.0, 9);
+    for (node_id v = 0; v < 50; ++v) EXPECT_EQ(a.speed(v), b.speed(v));
+}
+
+TEST(Speeds, BimodalValidatesArguments)
+{
+    EXPECT_THROW(speed_profile::bimodal(10, -0.1, 2.0, 1), std::invalid_argument);
+    EXPECT_THROW(speed_profile::bimodal(10, 1.1, 2.0, 1), std::invalid_argument);
+    EXPECT_THROW(speed_profile::bimodal(10, 0.5, 0.5, 1), std::invalid_argument);
+}
+
+TEST(Speeds, ZipfBoundsAndFloor)
+{
+    const auto p = speed_profile::zipf(100, 1.0, 16.0, 3);
+    EXPECT_DOUBLE_EQ(p.max_speed(), 16.0);
+    EXPECT_DOUBLE_EQ(p.min_speed(), 1.0);
+    for (node_id v = 0; v < 100; ++v) EXPECT_GE(p.speed(v), 1.0);
+}
+
+TEST(Speeds, ZipfTotalsMatchFormula)
+{
+    const auto p = speed_profile::zipf(4, 1.0, 8.0, 5);
+    // Ranked speeds: 8, 4, 8/3, 2 (all >= 1, no flooring here).
+    EXPECT_NEAR(p.total(), 8.0 + 4.0 + 8.0 / 3.0 + 2.0, 1e-12);
+}
+
+} // namespace
+} // namespace dlb

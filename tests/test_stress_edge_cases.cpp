@@ -1,0 +1,223 @@
+// Stress tests and structural edge cases: tiny graphs, degenerate loads,
+// long-horizon stability, statistical sanity of the randomized components.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/cumulative_baseline.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/matching.hpp"
+#include "core/metrics.hpp"
+#include "core/process.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+#include "sim/initial_load.hpp"
+
+namespace dlb {
+namespace {
+
+diffusion_config homogeneous(const graph& g, scheme_params scheme)
+{
+    return {&g, make_alpha(g, alpha_policy::max_degree_plus_one),
+            speed_profile::uniform(g.num_nodes()), scheme};
+}
+
+TEST(EdgeCases, SingleEdgeGraphBalances)
+{
+    const graph g = make_path(2);
+    discrete_process proc(homogeneous(g, fos_scheme()),
+                          std::vector<std::int64_t>{9, 0},
+                          rounding_kind::randomized, 1);
+    proc.run(100);
+    EXPECT_TRUE(proc.verify_conservation());
+    // alpha = 1/3 < 1/2: converges to within a token of (4.5, 4.5).
+    EXPECT_LE(std::abs(proc.load()[0] - proc.load()[1]), 3);
+}
+
+TEST(EdgeCases, ZeroTotalLoad)
+{
+    const graph g = make_torus_2d(4, 4);
+    discrete_process proc(homogeneous(g, fos_scheme()), balanced_load(16, 0),
+                          rounding_kind::randomized, 2);
+    proc.run(20);
+    for (const auto v : proc.load()) EXPECT_EQ(v, 0);
+}
+
+TEST(EdgeCases, SingleTokenNeverDuplicates)
+{
+    const graph g = make_cycle(9);
+    discrete_process proc(homogeneous(g, fos_scheme()), point_load(9, 4, 1),
+                          rounding_kind::randomized, 3);
+    for (int t = 0; t < 200; ++t) {
+        proc.step();
+        std::int64_t total = 0, max_value = 0;
+        for (const auto v : proc.load()) {
+            total += v;
+            max_value = std::max(max_value, v);
+            EXPECT_GE(v, 0);
+        }
+        EXPECT_EQ(total, 1);
+        EXPECT_EQ(max_value, 1);
+    }
+}
+
+TEST(EdgeCases, TwoNodeHeterogeneous)
+{
+    const graph g = make_path(2);
+    const auto speeds = speed_profile::from_vector({1.0, 3.0});
+    diffusion_config config{&g, make_alpha(g, alpha_policy::max_degree_plus_one),
+                            speeds, fos_scheme()};
+    continuous_process proc(config, {100.0, 0.0});
+    proc.run(2000);
+    EXPECT_NEAR(proc.load()[0], 25.0, 1e-6);
+    EXPECT_NEAR(proc.load()[1], 75.0, 1e-6);
+}
+
+TEST(EdgeCases, StarPreventPolicyConserves)
+{
+    // The star's center gets simultaneous demand from every leaf.
+    const graph g = make_star(12);
+    const double lambda = compute_lambda(
+        g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(12));
+    discrete_process proc(homogeneous(g, sos_scheme(beta_opt(lambda))),
+                          point_load(12, 0, 1200), rounding_kind::randomized, 5,
+                          negative_load_policy::prevent);
+    proc.run(500);
+    EXPECT_TRUE(proc.verify_conservation());
+    EXPECT_GE(proc.negative_stats().min_transient_load, 0.0);
+    EXPECT_LE(max_minus_average(proc.load()), 30.0);
+}
+
+TEST(EdgeCases, NegativeInitialLoadIsHandled)
+{
+    // The engine does not forbid negative starting loads (they model debt);
+    // conservation and convergence toward the (negative) average hold.
+    const graph g = make_torus_2d(4, 4);
+    std::vector<std::int64_t> load(16, -10);
+    load[0] = 100;
+    discrete_process proc(homogeneous(g, fos_scheme()), load,
+                          rounding_kind::randomized, 7);
+    proc.run(600);
+    // 100 + 15 * (-10) = -50 total tokens.
+    EXPECT_EQ(proc.total_load(), -50);
+    EXPECT_LE(max_minus_average(proc.load()), 6.0);
+}
+
+TEST(Stress, LongHorizonStabilityTorus)
+{
+    // 20000 rounds on a small torus: conservation, bounded fluctuation, no
+    // drift of the plateau.
+    const graph g = make_torus_2d(8, 8);
+    const double beta = beta_opt(torus_2d_lambda(8, 8));
+    discrete_process proc(homogeneous(g, sos_scheme(beta)),
+                          point_load(64, 0, 6400), rounding_kind::randomized, 11);
+    proc.run(1000);
+    double worst_late = 0.0;
+    for (int block = 0; block < 19; ++block) {
+        proc.run(1000);
+        ASSERT_TRUE(proc.verify_conservation()) << "block " << block;
+        worst_late = std::max(worst_late, max_minus_average(proc.load()));
+    }
+    EXPECT_LE(worst_late, 25.0);
+}
+
+TEST(Stress, ManySeedsPlateauDistribution)
+{
+    // The FOS remaining imbalance is a small constant across seeds.
+    const graph g = make_torus_2d(6, 6);
+    double worst = 0.0, sum = 0.0;
+    const int seeds = 20;
+    for (int seed = 0; seed < seeds; ++seed) {
+        discrete_process proc(homogeneous(g, fos_scheme()),
+                              point_load(36, 0, 3600),
+                              rounding_kind::randomized,
+                              static_cast<std::uint64_t>(seed));
+        proc.run(1500);
+        const double imbalance = max_minus_average(proc.load());
+        worst = std::max(worst, imbalance);
+        sum += imbalance;
+    }
+    EXPECT_LE(worst, 8.0);
+    EXPECT_LE(sum / seeds, 5.0);
+}
+
+TEST(Stress, CumulativeBaselineLongRunErrorStaysHalf)
+{
+    const graph g = make_random_regular_exact(48, 4, 17);
+    cumulative_process proc(homogeneous(g, fos_scheme()),
+                            point_load(48, 0, 4800));
+    proc.run(5000);
+    EXPECT_LE(proc.max_cumulative_error(), 0.5 + 1e-9);
+    EXPECT_TRUE(proc.verify_conservation());
+}
+
+TEST(Stress, MatchingLongRunOnSparseGraph)
+{
+    const graph g = make_cycle(64);
+    matching_process proc(g, point_load(64, 0, 6400), 23);
+    proc.run(20000); // cycles mix slowly under matchings
+    EXPECT_TRUE(proc.verify_conservation());
+    EXPECT_LE(max_minus_average(proc.load()), 20.0);
+}
+
+TEST(Stress, RandomizedRoundingVarianceIsBounded)
+{
+    // Per Observation 1 the error is unbiased; its magnitude is < 1 per
+    // edge. Check the empirical standard deviation of the rounded flow on a
+    // fractional edge stays below the Bernoulli bound 0.5.
+    const graph g = make_path(2);
+    std::vector<double> scheduled(2, 0.0);
+    scheduled[g.half_edge_begin(0)] = 0.5;
+    scheduled[g.twin(g.half_edge_begin(0))] = -0.5;
+    std::vector<std::int64_t> flows(2);
+    double sum = 0.0, sum_sq = 0.0;
+    const int trials = 20000;
+    for (int trial = 0; trial < trials; ++trial) {
+        round_flows(g, rounding_kind::randomized, scheduled, 9, trial, flows,
+                    default_executor());
+        const double f = static_cast<double>(flows[g.half_edge_begin(0)]);
+        sum += f;
+        sum_sq += f * f;
+    }
+    const double mean = sum / trials;
+    const double variance = sum_sq / trials - mean * mean;
+    EXPECT_NEAR(mean, 0.5, 0.02);
+    EXPECT_NEAR(variance, 0.25, 0.02); // Bernoulli(1/2) variance
+}
+
+TEST(Stress, LargeTorusSingleRoundThroughput)
+{
+    // A 512x512 torus round must complete and conserve; acts as a memory /
+    // indexing smoke test at 2^18 nodes and 2^20 half-edges.
+    const graph g = make_torus_2d(512, 512);
+    EXPECT_EQ(g.num_half_edges(), 4LL * 512 * 512);
+    discrete_process proc(homogeneous(g, fos_scheme()),
+                          point_load(g.num_nodes(), 0, 1000000),
+                          rounding_kind::randomized, 31);
+    proc.run(3);
+    EXPECT_TRUE(proc.verify_conservation());
+}
+
+TEST(Stress, DisconnectedGraphBalancesPerComponent)
+{
+    // Two disjoint triangles: load balances within each component only.
+    const std::vector<edge> edges{{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}};
+    const graph g = graph::from_edge_list(6, edges);
+    std::vector<std::int64_t> load{60, 0, 0, 6, 0, 0};
+    discrete_process proc(homogeneous(g, fos_scheme()), load,
+                          rounding_kind::randomized, 13);
+    proc.run(300);
+    const auto final = proc.load();
+    EXPECT_EQ(final[0] + final[1] + final[2], 60);
+    EXPECT_EQ(final[3] + final[4] + final[5], 6);
+    for (int v = 0; v < 3; ++v) EXPECT_NEAR(static_cast<double>(final[v]), 20.0, 2.0);
+    for (int v = 3; v < 6; ++v) EXPECT_NEAR(static_cast<double>(final[v]), 2.0, 2.0);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,127 @@
+// Tests for the thread-pool executor and engine determinism across
+// executors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/process.hpp"
+#include "graph/generators.hpp"
+#include "linalg/spectra.hpp"
+#include "sim/initial_load.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce)
+{
+    thread_pool pool(4);
+    const std::int64_t count = 100000;
+    std::vector<std::atomic<int>> touched(count);
+    pool.parallel_for(count, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) touched[i].fetch_add(1);
+    });
+    for (std::int64_t i = 0; i < count; ++i)
+        ASSERT_EQ(touched[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, HandlesZeroAndTinyRanges)
+{
+    thread_pool pool(4);
+    int calls = 0;
+    pool.parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+
+    std::vector<int> touched(3, 0);
+    pool.parallel_for(3, [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t i = begin; i < end; ++i) ++touched[i];
+    });
+    EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 3);
+}
+
+TEST(ThreadPool, ReusableAcrossManyInvocations)
+{
+    thread_pool pool(3);
+    std::atomic<std::int64_t> sum{0};
+    for (int iteration = 0; iteration < 200; ++iteration) {
+        pool.parallel_for(1000, [&](std::int64_t begin, std::int64_t end) {
+            sum.fetch_add(end - begin);
+        });
+    }
+    EXPECT_EQ(sum.load(), 200 * 1000);
+}
+
+TEST(ThreadPool, WorkerCount)
+{
+    thread_pool pool(5);
+    EXPECT_EQ(pool.worker_count(), 5u);
+    thread_pool auto_pool(0);
+    EXPECT_GE(auto_pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, SerialExecutorEquivalence)
+{
+    // Same summation either way.
+    serial_executor serial;
+    thread_pool pool(4);
+    const std::int64_t count = 5000;
+
+    auto run = [&](executor& exec) {
+        std::vector<std::int64_t> squares(count);
+        exec.parallel_for(count, [&](std::int64_t begin, std::int64_t end) {
+            for (std::int64_t i = begin; i < end; ++i) squares[i] = i * i;
+        });
+        return std::accumulate(squares.begin(), squares.end(), std::int64_t{0});
+    };
+    EXPECT_EQ(run(serial), run(pool));
+}
+
+TEST(ThreadPool, DiscreteProcessIdenticalAcrossExecutors)
+{
+    // The determinism guarantee: engine output is independent of threading.
+    const graph g = make_torus_2d(12, 12);
+    const double beta = beta_opt(torus_2d_lambda(12, 12));
+    const diffusion_config config{
+        &g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(g.num_nodes()), sos_scheme(beta)};
+
+    serial_executor serial;
+    thread_pool pool(7); // deliberately odd worker count
+
+    discrete_process serial_proc(config, point_load(144, 0, 14400),
+                                 rounding_kind::randomized, 99,
+                                 negative_load_policy::allow, &serial);
+    discrete_process pooled_proc(config, point_load(144, 0, 14400),
+                                 rounding_kind::randomized, 99,
+                                 negative_load_policy::allow, &pool);
+    serial_proc.run(150);
+    pooled_proc.run(150);
+    ASSERT_TRUE(std::equal(serial_proc.load().begin(), serial_proc.load().end(),
+                           pooled_proc.load().begin()));
+    EXPECT_EQ(serial_proc.negative_stats().min_transient_load,
+              pooled_proc.negative_stats().min_transient_load);
+}
+
+TEST(ThreadPool, ContinuousProcessIdenticalAcrossExecutors)
+{
+    const graph g = make_torus_2d(10, 10);
+    const diffusion_config config{
+        &g, make_alpha(g, alpha_policy::max_degree_plus_one),
+        speed_profile::uniform(g.num_nodes()), fos_scheme()};
+    serial_executor serial;
+    thread_pool pool(4);
+
+    continuous_process a(config, to_continuous(point_load(100, 0, 10000)), &serial);
+    continuous_process b(config, to_continuous(point_load(100, 0, 10000)), &pool);
+    a.run(100);
+    b.run(100);
+    for (node_id v = 0; v < 100; ++v)
+        EXPECT_EQ(a.load()[v], b.load()[v]) << "node " << v;
+}
+
+} // namespace
+} // namespace dlb

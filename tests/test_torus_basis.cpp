@@ -1,0 +1,134 @@
+// Tests for the torus Fourier eigenbasis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "linalg/torus_basis.hpp"
+#include "util/rng.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(TorusBasis, DimensionAndRankZero)
+{
+    const torus_fourier_basis basis(6, 8);
+    EXPECT_EQ(basis.dimension(), 48u);
+    const auto& constant = basis.modes().front();
+    EXPECT_EQ(constant.a, 0);
+    EXPECT_EQ(constant.b, 0);
+    EXPECT_FALSE(constant.is_sin);
+    EXPECT_DOUBLE_EQ(constant.eigenvalue, 1.0);
+}
+
+TEST(TorusBasis, EigenvaluesSortedDescending)
+{
+    const torus_fourier_basis basis(5, 7);
+    const auto& modes = basis.modes();
+    for (std::size_t k = 1; k < modes.size(); ++k)
+        EXPECT_LE(modes[k].eigenvalue, modes[k - 1].eigenvalue + 1e-15);
+}
+
+TEST(TorusBasis, ConstantVectorProjectsToRankZeroOnly)
+{
+    const torus_fourier_basis basis(6, 6);
+    const std::vector<double> load(36, 2.5);
+    const auto coefficients = basis.project(load);
+    // <u_0, x> = 2.5 * sqrt(n).
+    EXPECT_NEAR(coefficients[0], 2.5 * 6.0, 1e-9);
+    for (std::size_t k = 1; k < coefficients.size(); ++k)
+        EXPECT_NEAR(coefficients[k], 0.0, 1e-9) << "rank " << k;
+}
+
+TEST(TorusBasis, ParsevalIdentity)
+{
+    const torus_fourier_basis basis(5, 6);
+    std::vector<double> load(30);
+    xoshiro256ss rng{123};
+    for (auto& v : load) v = rng.next_double() * 10.0 - 5.0;
+    const auto coefficients = basis.project(load);
+    const double load_energy =
+        std::inner_product(load.begin(), load.end(), load.begin(), 0.0);
+    const double coeff_energy = std::inner_product(
+        coefficients.begin(), coefficients.end(), coefficients.begin(), 0.0);
+    EXPECT_NEAR(load_energy, coeff_energy, 1e-8 * load_energy);
+}
+
+TEST(TorusBasis, ProjectReconstructRoundTrip)
+{
+    const torus_fourier_basis basis(4, 5);
+    std::vector<double> load(20);
+    xoshiro256ss rng{7};
+    for (auto& v : load) v = rng.next_double();
+    const auto coefficients = basis.project(load);
+    const auto back = basis.reconstruct(coefficients);
+    for (std::size_t i = 0; i < load.size(); ++i)
+        EXPECT_NEAR(back[i], load[i], 1e-9) << "node " << i;
+}
+
+TEST(TorusBasis, SingleModeRoundTrip)
+{
+    const torus_fourier_basis basis(6, 6);
+    // Activate exactly one non-trivial mode.
+    std::vector<double> coefficients(36, 0.0);
+    coefficients[5] = 3.0;
+    const auto load = basis.reconstruct(coefficients);
+    const auto projected = basis.project(load);
+    for (std::size_t k = 0; k < projected.size(); ++k)
+        EXPECT_NEAR(projected[k], coefficients[k], 1e-9) << "rank " << k;
+}
+
+TEST(TorusBasis, AnalyzeFindsLeadingMode)
+{
+    const torus_fourier_basis basis(8, 8);
+    std::vector<double> coefficients(64, 0.0);
+    coefficients[0] = 100.0; // constant component is ignored
+    coefficients[7] = -4.0;  // leading non-constant
+    coefficients[3] = 2.0;   // the paper's a_4 slot
+    const auto load = basis.reconstruct(coefficients);
+    const auto impact = basis.analyze(load);
+    EXPECT_EQ(impact.leading_rank, 7u);
+    EXPECT_NEAR(impact.leading_value, -4.0, 1e-9);
+    EXPECT_NEAR(impact.max_abs_coefficient, 4.0, 1e-9);
+    EXPECT_NEAR(impact.a4, 2.0, 1e-9);
+}
+
+TEST(TorusBasis, ProjectionIsEigenbasis)
+{
+    // Applying M = I - L/5 scales each coefficient by its eigenvalue.
+    const node_id w = 5, h = 4;
+    const torus_fourier_basis basis(w, h);
+    std::vector<double> load(static_cast<std::size_t>(w) * h);
+    xoshiro256ss rng{99};
+    for (auto& v : load) v = rng.next_double();
+
+    // One FOS step on the torus: x'_v = x_v - (1/5) sum (x_v - x_u).
+    std::vector<double> next(load.size());
+    for (node_id row = 0; row < h; ++row)
+        for (node_id col = 0; col < w; ++col) {
+            const auto at = [&](node_id c, node_id r) {
+                return load[static_cast<std::size_t>((r + h) % h) * w +
+                            (c + w) % w];
+            };
+            const double x = at(col, row);
+            next[static_cast<std::size_t>(row) * w + col] =
+                x - 0.2 * (4.0 * x - at(col + 1, row) - at(col - 1, row) -
+                           at(col, row + 1) - at(col, row - 1));
+        }
+
+    const auto before = basis.project(load);
+    const auto after = basis.project(next);
+    for (std::size_t k = 0; k < before.size(); ++k)
+        EXPECT_NEAR(after[k], basis.modes()[k].eigenvalue * before[k], 1e-9)
+            << "rank " << k;
+}
+
+TEST(TorusBasis, RejectsBadSizes)
+{
+    EXPECT_THROW(torus_fourier_basis(2, 5), std::invalid_argument);
+    const torus_fourier_basis basis(4, 4);
+    EXPECT_THROW(basis.project(std::vector<double>(5)), std::invalid_argument);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,0 +1,123 @@
+// Tests for CSV writer and CLI parser.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+namespace dlb {
+namespace {
+
+std::string read_file(const std::string& path)
+{
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+class CsvTest : public ::testing::Test {
+protected:
+    std::string path_ = ::testing::TempDir() + "dlb_csv_test.csv";
+    void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        csv_writer csv(path_, {"round", "value"});
+        csv.row({"0", "1.5"});
+        csv.row({"1", "2.5"});
+        EXPECT_EQ(csv.rows_written(), 2);
+    }
+    EXPECT_EQ(read_file(path_), "round,value\n0,1.5\n1,2.5\n");
+}
+
+TEST_F(CsvTest, RowWidthMismatchThrows)
+{
+    csv_writer csv(path_, {"a", "b"});
+    EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, EmptyHeaderThrows)
+{
+    EXPECT_THROW(csv_writer(path_, {}), std::invalid_argument);
+}
+
+TEST_F(CsvTest, NumericRows)
+{
+    {
+        csv_writer csv(path_, {"x", "y"});
+        csv.row_numeric({1.0, 0.25});
+    }
+    EXPECT_EQ(read_file(path_), "x,y\n1,0.25\n");
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters)
+{
+    EXPECT_EQ(csv_writer::escape("plain"), "plain");
+    EXPECT_EQ(csv_writer::escape("with,comma"), "\"with,comma\"");
+    EXPECT_EQ(csv_writer::escape("with\"quote"), "\"with\"\"quote\"");
+    EXPECT_EQ(csv_writer::escape("with\nnewline"), "\"with\nnewline\"");
+}
+
+TEST(FormatDouble, RoundTrips)
+{
+    for (const double v : {0.0, 1.0, -2.5, 0.1, 1e300, 1e-300, 3.141592653589793}) {
+        EXPECT_EQ(std::stod(format_double(v)), v);
+    }
+}
+
+cli_args make_args(std::initializer_list<const char*> argv)
+{
+    std::vector<const char*> args(argv);
+    return cli_args(static_cast<int>(args.size()), args.data());
+}
+
+TEST(Cli, ParsesFlagsAndValues)
+{
+    const auto args =
+        make_args({"prog", "--full", "--rounds", "500", "--scale=0.5", "pos1"});
+    EXPECT_TRUE(args.has("full"));
+    EXPECT_FALSE(args.has("missing"));
+    EXPECT_EQ(args.get_int("rounds", 0), 500);
+    EXPECT_DOUBLE_EQ(args.get_double("scale", 1.0), 0.5);
+    ASSERT_EQ(args.positional().size(), 1u);
+    EXPECT_EQ(args.positional()[0], "pos1");
+    EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(Cli, Defaults)
+{
+    const auto args = make_args({"prog"});
+    EXPECT_EQ(args.get_int("rounds", 123), 123);
+    EXPECT_EQ(args.get_string("name", "fallback"), "fallback");
+    EXPECT_TRUE(args.get_bool("verbose", true));
+}
+
+TEST(Cli, BoolForms)
+{
+    const auto args = make_args({"prog", "--a", "true", "--b=false", "--c", "--d=1"});
+    EXPECT_TRUE(args.get_bool("a", false));
+    EXPECT_FALSE(args.get_bool("b", true));
+    EXPECT_TRUE(args.get_bool("c", false)); // bare flag
+    EXPECT_TRUE(args.get_bool("d", false));
+}
+
+TEST(Cli, BadBoolThrows)
+{
+    const auto args = make_args({"prog", "--flag", "maybe"});
+    EXPECT_THROW(args.get_bool("flag", false), std::invalid_argument);
+}
+
+TEST(Cli, EqualsFormBindsTightly)
+{
+    const auto args = make_args({"prog", "--key=a=b"});
+    EXPECT_EQ(args.get_string("key", ""), "a=b");
+}
+
+} // namespace
+} // namespace dlb

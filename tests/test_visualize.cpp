@@ -1,0 +1,92 @@
+// Tests for the torus raster renderer (Figures 9-11 infrastructure).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/visualize.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Visualize, BalancedLoadRendersWhite)
+{
+    const std::vector<std::int64_t> load(16, 100);
+    const auto pixels = render_torus_load(4, 4, load);
+    for (const auto p : pixels) EXPECT_EQ(p, 255);
+}
+
+TEST(Visualize, ExtremeNodeRendersBlackAdaptive)
+{
+    std::vector<std::int64_t> load(16, 0);
+    load[5] = 1600;
+    const auto pixels = render_torus_load(4, 4, load);
+    EXPECT_EQ(pixels[5], 0);              // farthest from average
+    EXPECT_GT(pixels[0], 200);            // others near average
+}
+
+TEST(Visualize, ThresholdShadingClamps)
+{
+    std::vector<std::int64_t> load(16, 100);
+    load[0] = 200; // way above threshold 10
+    load[1] = 105; // half way
+    render_options options;
+    options.mode = shading::threshold;
+    options.threshold = 10.0;
+    const auto pixels = render_torus_load(4, 4, load, options);
+    EXPECT_EQ(pixels[0], 0);
+    EXPECT_LT(pixels[1], 255);
+    EXPECT_GT(pixels[1], 0);
+}
+
+TEST(Visualize, SizeMismatchThrows)
+{
+    const std::vector<std::int64_t> load(15, 0);
+    EXPECT_THROW(render_torus_load(4, 4, load), std::invalid_argument);
+}
+
+TEST(Visualize, WritesValidPgm)
+{
+    const std::string path = ::testing::TempDir() + "dlb_vis_test.pgm";
+    std::vector<std::int64_t> load(12, 5);
+    load[3] = 50;
+    write_torus_load_pgm(path, 4, 3, load);
+
+    std::ifstream in(path, std::ios::binary);
+    std::string magic;
+    int width = 0, height = 0, maxval = 0;
+    in >> magic >> width >> height >> maxval;
+    EXPECT_EQ(magic, "P5");
+    EXPECT_EQ(width, 4);
+    EXPECT_EQ(height, 3);
+    EXPECT_EQ(maxval, 255);
+    in.get(); // single whitespace after header
+    std::vector<char> pixels(12);
+    in.read(pixels.data(), 12);
+    EXPECT_EQ(in.gcount(), 12);
+    std::remove(path.c_str());
+}
+
+TEST(Visualize, PixelStats)
+{
+    // Average is exactly 100: eight nodes sit on it, one is 20 above
+    // (counted by both thresholds) and one 20 below.
+    std::vector<std::int64_t> load(10, 100);
+    load[0] = 120;
+    load[1] = 80;
+    const auto stats = torus_pixel_stats(load);
+    EXPECT_EQ(stats.above_average_7, 1);
+    EXPECT_EQ(stats.above_average_10, 1);
+    EXPECT_DOUBLE_EQ(stats.max_above_average, 20.0);
+    EXPECT_EQ(stats.at_average, 8);
+}
+
+TEST(Visualize, EmptyStats)
+{
+    const auto stats = torus_pixel_stats({});
+    EXPECT_EQ(stats.above_average_10, 0);
+    EXPECT_EQ(stats.at_average, 0);
+}
+
+} // namespace
+} // namespace dlb
