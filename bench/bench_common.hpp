@@ -29,7 +29,7 @@ struct bench_context {
         : full(args.has("full")),
           csv_dir(args.get_string("csv", "")),
           rounds_override(args.get_int("rounds", -1)),
-          seed(static_cast<std::uint64_t>(args.get_int("seed", 20150622)))
+          seed(args.get_uint64("seed", 20150622))
     {
         if (!csv_dir.empty()) std::filesystem::create_directories(csv_dir);
     }

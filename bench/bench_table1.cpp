@@ -1,4 +1,7 @@
-// Table I reproduction: graph classes, lambda, and beta_opt.
+// Table I reproduction: graph classes, lambda, and beta_opt — built through
+// the campaign scenario registry instead of hand-wired generator calls, so
+// this binary exercises the exact topology-resolution path every campaign
+// sweep uses.
 //
 // Paper values (beta): torus 1000^2 -> 1.9920836447, torus 100^2 ->
 // 1.9235874877, random CM (n=10^6, d=19) -> 1.0651965147, RGG (n=10^4,
@@ -34,6 +37,16 @@ void print_row(const row& r)
     std::cout << "\n";
 }
 
+/// Lanczos lambda for a registry-built topology — the campaign resolution
+/// path (build_topology + paper-default alpha + uniform speeds).
+double registry_lambda(const std::string& family, std::int64_t nodes,
+                       double param, std::uint64_t seed)
+{
+    const graph g = campaign::build_topology(family, nodes, param, seed);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    return compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()));
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -51,30 +64,23 @@ int main(int argc, char** argv)
                torus_2d_lambda(100, 100)});
     print_row({"hypercube 2^20 (analytic)", 1.4026054847, hypercube_lambda(20)});
 
-    // Lanczos cross-checks on medium instances (always run).
-    {
-        const graph g = make_torus_2d(100, 100);
-        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
-        print_row({"torus 100x100 (lanczos)", 1.9235874877,
-                   compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()))});
-    }
+    // Lanczos cross-checks on registry-built instances (always run).
+    print_row({"torus 100x100 (registry)", 1.9235874877,
+               registry_lambda("torus", 100 * 100, 0.0, ctx.seed)});
     {
         const int dim = ctx.full ? 20 : 14;
-        const graph g = make_hypercube(dim);
-        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
-        print_row({"hypercube 2^" + std::to_string(dim) + " (lanczos)",
+        print_row({"hypercube 2^" + std::to_string(dim) + " (registry)",
                    dim == 20 ? 1.4026054847 : 0.0,
-                   compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()))});
+                   registry_lambda("hypercube", std::int64_t{1} << dim, 0.0,
+                                   ctx.seed)});
     }
 
-    // Random graph (configuration model), d = floor(log2 n).
+    // Random graph (configuration model), d = floor(log2 n) — the registry
+    // default for random_regular.
     {
-        const node_id n = ctx.full ? 1000000 : 65536;
+        const std::int64_t n = ctx.full ? 1000000 : 65536;
         const auto d = static_cast<std::int32_t>(std::floor(std::log2(n)));
-        const graph g = make_random_regular_cm(n, d, ctx.seed);
-        const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
-        const double lambda =
-            compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()));
+        const double lambda = registry_lambda("random_regular", n, 0.0, ctx.seed);
         print_row({"random CM n=" + std::to_string(n) + " d=" + std::to_string(d),
                    ctx.full ? 1.0651965147 : 0.0, lambda});
         // Expander shape: lambda ~ 2/sqrt(d) up to constants.
@@ -85,8 +91,7 @@ int main(int argc, char** argv)
     // Random geometric graph, paper size n = 10^4.
     {
         const node_id n = 10000;
-        const double radius = rgg_paper_radius(n);
-        const graph g = make_random_geometric(n, radius, ctx.seed);
+        const graph g = campaign::build_topology("rgg", n, 0.0, ctx.seed);
         const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
         const double lambda =
             compute_lambda(g, alpha, speed_profile::uniform(g.num_nodes()));
@@ -98,6 +103,6 @@ int main(int argc, char** argv)
 
     bench::verdict(true,
                    "analytic torus/hypercube betas match Table I to ~1e-6; "
-                   "Lanczos agrees with the closed forms");
+                   "registry-built Lanczos agrees with the closed forms");
     return 0;
 }

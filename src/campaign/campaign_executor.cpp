@@ -1,0 +1,287 @@
+#include "campaign/campaign_executor.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <mutex>
+#include <numeric>
+#include <ostream>
+#include <stdexcept>
+
+#include "campaign/registry.hpp"
+#include "campaign/workload.hpp"
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "sim/runner.hpp"
+#include "sim/thread_pool.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace dlb::campaign {
+
+namespace {
+
+// Distinct substream tags so load placement, speed assignment and workload
+// arrivals never share random bits (graph construction has its own tag in
+// registry::topology_seed).
+constexpr std::uint64_t kLoadStream = 0x6c6f6164;
+constexpr std::uint64_t kSpeedStream = 0x73706473;
+constexpr std::uint64_t kWorkloadStream = 0x776b6c64;
+
+alpha_policy resolve_alpha(const scenario_spec& spec)
+{
+    if (spec.alpha == "max_degree_plus_one")
+        return alpha_policy::max_degree_plus_one;
+    if (spec.alpha == "uniform_gamma_d") return alpha_policy::uniform_gamma_d;
+    throw std::invalid_argument("unknown alpha policy '" + spec.alpha + "'");
+}
+
+speed_profile resolve_speeds(const scenario_spec& spec, node_id n)
+{
+    if (spec.speeds == "uniform") return speed_profile::uniform(n);
+    const std::uint64_t seed = mix64(spec.seed, kSpeedStream);
+    if (spec.speeds == "bimodal") {
+        const double fraction = spec.speed_shape > 0.0 ? spec.speed_shape : 0.1;
+        const double fast = spec.speed_value >= 1.0 ? spec.speed_value : 4.0;
+        return speed_profile::bimodal(n, fraction, fast, seed);
+    }
+    if (spec.speeds == "zipf") {
+        const double exponent = spec.speed_shape > 0.0 ? spec.speed_shape : 1.0;
+        const double s_max = spec.speed_value >= 1.0 ? spec.speed_value : 8.0;
+        return speed_profile::zipf(n, exponent, s_max, seed);
+    }
+    throw std::invalid_argument("unknown speed profile '" + spec.speeds + "'");
+}
+
+rounding_kind resolve_rounding(const scenario_spec& spec)
+{
+    if (spec.rounding == "randomized") return rounding_kind::randomized;
+    if (spec.rounding == "floor") return rounding_kind::floor;
+    if (spec.rounding == "nearest") return rounding_kind::nearest;
+    if (spec.rounding == "bernoulli_edge") return rounding_kind::bernoulli_edge;
+    throw std::invalid_argument("unknown rounding '" + spec.rounding + "'");
+}
+
+process_kind resolve_process(const scenario_spec& spec)
+{
+    if (spec.process == "discrete") return process_kind::discrete;
+    if (spec.process == "continuous") return process_kind::continuous;
+    if (spec.process == "cumulative") return process_kind::cumulative;
+    throw std::invalid_argument("unknown process '" + spec.process + "'");
+}
+
+negative_load_policy resolve_policy(const scenario_spec& spec)
+{
+    if (spec.policy == "allow") return negative_load_policy::allow;
+    if (spec.policy == "prevent") return negative_load_policy::prevent;
+    throw std::invalid_argument("unknown policy '" + spec.policy + "'");
+}
+
+switch_policy resolve_switching(const scenario_spec& spec)
+{
+    if (spec.switch_mode == "never") return switch_policy::never();
+    if (spec.switch_mode == "at_round")
+        return switch_policy::at(
+            static_cast<std::int64_t>(std::llround(spec.switch_value)));
+    if (spec.switch_mode == "local")
+        return switch_policy::when_local_below(spec.switch_value);
+    if (spec.switch_mode == "global")
+        return switch_policy::when_global_below(spec.switch_value);
+    throw std::invalid_argument("unknown switch mode '" + spec.switch_mode + "'");
+}
+
+} // namespace
+
+scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
+                             std::int64_t record_every,
+                             const std::string& series_dir)
+{
+    scenario_result result;
+    result.spec = spec;
+    result.index = index;
+    result.label = scenario_label(spec);
+    const stopwatch watch;
+
+    try {
+        if (spec.rounds < 0)
+            throw std::invalid_argument("scenario: negative round count");
+
+        const graph g = build_topology(spec.topology, spec.nodes,
+                                       spec.topology_param,
+                                       topology_seed(spec.seed));
+        result.nodes = g.num_nodes();
+        result.edges = g.num_edges();
+
+        const auto alpha = make_alpha(g, resolve_alpha(spec), spec.alpha_gamma);
+        const auto speeds = resolve_speeds(spec, g.num_nodes());
+
+        // Relaxation parameter: explicit beta wins; otherwise SOS and
+        // Chebyshev derive it from the computed lambda (Table I pipeline).
+        scheme_params scheme;
+        if (spec.scheme == "fos") {
+            scheme = fos_scheme();
+            result.beta = 1.0;
+        } else if (spec.scheme == "sos") {
+            double beta = spec.beta;
+            if (beta <= 0.0) {
+                result.lambda = compute_lambda(g, alpha, speeds);
+                beta = beta_opt(result.lambda);
+            }
+            scheme = sos_scheme(beta);
+            result.beta = beta;
+        } else if (spec.scheme == "chebyshev") {
+            result.lambda = compute_lambda(g, alpha, speeds);
+            scheme = chebyshev_scheme(result.lambda);
+            result.beta = beta_opt(result.lambda);
+        } else {
+            throw std::invalid_argument("unknown scheme '" + spec.scheme + "'");
+        }
+
+        const auto initial =
+            build_initial_load(spec.load_pattern, g.num_nodes(),
+                               spec.tokens_per_node, mix64(spec.seed, kLoadStream));
+        result.initial_total =
+            std::accumulate(initial.begin(), initial.end(), std::int64_t{0});
+
+        const auto workload = make_workload(
+            {spec.workload, spec.workload_rate, spec.workload_amount,
+             spec.workload_period},
+            g.num_nodes(), mix64(spec.seed, kWorkloadStream));
+
+        experiment_config config;
+        config.diffusion = {&g, alpha, speeds, scheme};
+        config.process = resolve_process(spec);
+        config.rounding = resolve_rounding(spec);
+        config.seed = spec.seed;
+        config.policy = resolve_policy(spec);
+        config.rounds = spec.rounds;
+        config.record_every = record_every;
+        config.switching = resolve_switching(spec);
+        // Plateau window scaled to the round budget: the runner default of
+        // 200 can never converge on short campaign runs.
+        config.imbalance_window = std::clamp<std::int64_t>(spec.rounds / 4, 8, 200);
+        config.workload = workload.get();
+        config.exec = nullptr; // engines run serially; campaigns parallelize
+                               // across scenarios
+
+        const time_series series = run_experiment(config, initial);
+
+        if (!series_dir.empty())
+            write_csv(series_dir + "/" + std::to_string(index) + "_" +
+                          result.label + ".csv",
+                      series);
+
+        result.final_max_minus_average = series.max_minus_average.back();
+        result.final_max_local_difference = series.max_local_difference.back();
+        result.remaining_imbalance = series.remaining_imbalance;
+        result.imbalance_converged = series.imbalance_converged;
+        result.switch_round = series.switch_round;
+        result.negative = series.negative;
+        result.total_injected = series.total_injected;
+        result.total_drained = series.total_drained;
+
+        if (series.imbalance_converged) {
+            for (std::size_t i = 0; i < series.size(); ++i) {
+                if (series.max_minus_average[i] <= series.remaining_imbalance) {
+                    result.rounds_to_plateau = series.rounds[i];
+                    break;
+                }
+            }
+        }
+
+        // Discrete engines conserve tokens exactly (modulo injection); the
+        // continuous engine only up to floating-point drift.
+        const double error = series.total_load_error.back();
+        if (config.process == process_kind::continuous) {
+            const double scale =
+                std::max(1.0, std::abs(static_cast<double>(result.initial_total)));
+            result.conservation_ok = error <= 1e-6 * scale;
+        } else {
+            result.conservation_ok = error == 0.0;
+        }
+    } catch (const std::exception& failure) {
+        result.error = failure.what();
+    }
+
+    result.wall_seconds = watch.seconds();
+    return result;
+}
+
+namespace {
+
+// Shared execution core for run_scenarios / run_campaign.
+campaign_result detail_run(const campaign_spec& spec,
+                           const std::vector<scenario_spec>& scenarios,
+                           const campaign_options& options)
+{
+    const auto count = static_cast<std::int64_t>(scenarios.size());
+
+    std::int64_t record_every = options.record_every;
+    if (record_every <= 0)
+        record_every = std::max<std::int64_t>(1, spec.base.rounds / 256);
+
+    campaign_result result;
+    result.spec = spec;
+    result.scenarios.resize(scenarios.size());
+
+    if (!options.series_dir.empty())
+        std::filesystem::create_directories(options.series_dir);
+
+    const stopwatch watch;
+    std::atomic<std::int64_t> next{0};
+    std::mutex progress_mutex;
+
+    // One experiment per task: every pool invocation drains a shared index
+    // queue instead of sticking to its contiguous chunk, so a handful of
+    // slow scenarios cannot idle the other workers. results[i] is written by
+    // exactly one claimant of i, and each entry depends only on its spec, so
+    // output is identical for any thread count.
+    auto drain_queue = [&](std::int64_t, std::int64_t) {
+        std::int64_t i = 0;
+        while ((i = next.fetch_add(1)) < count) {
+            result.scenarios[i] =
+                run_scenario(scenarios[i], i, record_every, options.series_dir);
+            if (options.progress != nullptr) {
+                const std::scoped_lock lock(progress_mutex);
+                const auto& r = result.scenarios[i];
+                *options.progress
+                    << "[" << i + 1 << "/" << count << "] " << r.label
+                    << (r.error.empty() ? "" : "  ERROR: " + r.error) << "\n";
+            }
+        }
+    };
+
+    unsigned threads = options.threads;
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    if (threads <= 1 || count <= 1) {
+        drain_queue(0, count);
+    } else {
+        thread_pool pool(threads);
+        pool.parallel_for(count, drain_queue);
+    }
+
+    result.wall_seconds = watch.seconds();
+    return result;
+}
+
+} // namespace
+
+campaign_result run_scenarios(const std::string& name,
+                              const std::vector<scenario_spec>& scenarios,
+                              const campaign_options& options)
+{
+    campaign_spec spec;
+    spec.name = name;
+    if (!scenarios.empty()) spec.base = scenarios.front();
+    return detail_run(spec, scenarios, options);
+}
+
+campaign_result run_campaign(const campaign_spec& spec,
+                             const campaign_options& options)
+{
+    return detail_run(spec, expand(spec), options);
+}
+
+} // namespace dlb::campaign

@@ -1,0 +1,89 @@
+// Parallel campaign execution.
+//
+// Expands a campaign_spec into scenarios and fans them out across the
+// existing thread_pool, one experiment per task (workers pull scenario
+// indices from a shared queue, so uneven scenario costs still balance).
+// Each scenario runs its engines serially; parallelism lives entirely at
+// the scenario level, and every result is a pure function of its spec, so
+// campaign output is byte-identical for any worker count.
+#ifndef DLB_CAMPAIGN_CAMPAIGN_EXECUTOR_HPP
+#define DLB_CAMPAIGN_CAMPAIGN_EXECUTOR_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/spec.hpp"
+#include "core/process.hpp"
+
+namespace dlb::campaign {
+
+struct campaign_options {
+    unsigned threads = 1;        // scenario fan-out workers; 0: hardware
+    std::int64_t record_every = 0; // series sampling stride; 0: rounds/256
+    std::ostream* progress = nullptr; // per-scenario completion lines
+    /// When non-empty, each scenario's recorded time series is written to
+    /// `<series_dir>/<index>_<label>.csv` (the per-round curves behind the
+    /// paper figures; the summary reports only keep final values).
+    std::string series_dir;
+};
+
+/// Summary of one executed scenario. When `error` is non-empty the scenario
+/// threw during resolution or execution and the metric fields are unset.
+struct scenario_result {
+    scenario_spec spec;
+    std::int64_t index = 0;
+    std::string label;
+    std::string error;
+
+    // Resolved instance.
+    std::int64_t nodes = 0;
+    std::int64_t edges = 0;
+    double lambda = -1.0; // second eigenvalue; -1 when not needed/computed
+    double beta = 0.0;    // effective relaxation parameter (FOS: 1)
+    std::int64_t initial_total = 0;
+
+    // Outcome metrics.
+    double final_max_minus_average = 0.0;
+    double final_max_local_difference = 0.0;
+    double remaining_imbalance = 0.0;
+    bool imbalance_converged = false;
+    std::int64_t rounds_to_plateau = -1; // first recorded round at/below the
+                                         // plateau level; -1: never converged
+    std::int64_t switch_round = -1;
+    negative_load_stats negative;
+    std::int64_t total_injected = 0;
+    std::int64_t total_drained = 0;
+    bool conservation_ok = false; // token total matches modulo injection
+    double wall_seconds = 0.0;    // nondeterministic; reports omit it unless
+                                  // explicitly asked (see report options)
+};
+
+struct campaign_result {
+    campaign_spec spec;
+    std::vector<scenario_result> scenarios;
+    double wall_seconds = 0.0;
+};
+
+/// Resolves and runs one scenario serially; never throws — failures land in
+/// scenario_result::error so one bad cell cannot sink a sweep. A non-empty
+/// `series_dir` (must exist) also writes the recorded per-round series.
+scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
+                             std::int64_t record_every,
+                             const std::string& series_dir = {});
+
+/// Executes an explicit scenario list (programmatic campaigns, e.g. the
+/// bench reproductions). The spec echoed in the result carries `name` and
+/// the first scenario as base.
+campaign_result run_scenarios(const std::string& name,
+                              const std::vector<scenario_spec>& scenarios,
+                              const campaign_options& options = {});
+
+/// Expands and executes the whole campaign.
+campaign_result run_campaign(const campaign_spec& spec,
+                             const campaign_options& options = {});
+
+} // namespace dlb::campaign
+
+#endif // DLB_CAMPAIGN_CAMPAIGN_EXECUTOR_HPP

@@ -1,0 +1,59 @@
+// Named builders for every topology family and initial-load pattern a
+// scenario_spec can reference.
+//
+// Topologies cover the paper's Table I families (torus, hypercube, random
+// regular via the configuration model, random geometric) plus the standard
+// fixtures the wider sweep literature uses (grid, star, path, complete,
+// cycle, Erdos-Renyi — cf. Sauerwald & Sun, "Tight Bounds for Randomized
+// Load Balancing on Arbitrary Network Topologies").
+//
+// All builders are deterministic in (spec, seed); load patterns always
+// return exactly tokens_per_node * n tokens so conservation bookkeeping
+// stays exact.
+#ifndef DLB_CAMPAIGN_REGISTRY_HPP
+#define DLB_CAMPAIGN_REGISTRY_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dlb::campaign {
+
+/// Registered topology family names.
+const std::vector<std::string>& topology_names();
+
+/// The derived seed the campaign executor hands build_topology for a
+/// scenario with master seed `scenario_seed`; exposed so callers can
+/// rebuild a scenario's exact graph instance (e.g. to precompute lambda).
+std::uint64_t topology_seed(std::uint64_t scenario_seed);
+
+/// Builds the named family with approximately `nodes` nodes. Families with
+/// structural constraints round to the nearest realizable size (torus/grid:
+/// square side; hypercube: power of two). `param` is the family knob
+/// documented in scenario_spec::topology_param; 0 picks the family default.
+/// Throws std::invalid_argument on unknown names or impossible sizes.
+graph build_topology(const std::string& family, std::int64_t nodes,
+                     double param, std::uint64_t seed);
+
+/// Registered initial-load pattern names.
+const std::vector<std::string>& load_pattern_names();
+
+/// Builds the named pattern over n nodes with exactly tokens_per_node * n
+/// total tokens. Patterns:
+///   point              — everything on node 0 (the paper's default)
+///   balanced           — tokens_per_node everywhere
+///   random             — independent uniform loads, total corrected exactly
+///   wavefront          — linear ramp from 2*tokens_per_node down to 0
+///   bimodal            — a random half of the nodes holds all load
+///   adversarial_corner — all load on the ~sqrt(n) lowest-index nodes (a
+///                        corner patch in row-major grid/torus layouts)
+std::vector<std::int64_t> build_initial_load(const std::string& pattern,
+                                             node_id n,
+                                             std::int64_t tokens_per_node,
+                                             std::uint64_t seed);
+
+} // namespace dlb::campaign
+
+#endif // DLB_CAMPAIGN_REGISTRY_HPP

@@ -1,0 +1,233 @@
+#include "campaign/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/csv.hpp"
+#include "util/json.hpp"
+
+namespace dlb::campaign {
+
+namespace {
+
+struct aggregate {
+    std::int64_t failed = 0;
+    std::int64_t converged = 0;
+    std::int64_t conservation_failures = 0;
+    double worst_final_discrepancy = 0.0;
+    std::int64_t total_injected = 0;
+    std::int64_t total_drained = 0;
+};
+
+aggregate aggregate_of(const campaign_result& result)
+{
+    aggregate agg;
+    for (const auto& r : result.scenarios) {
+        if (!r.error.empty()) {
+            ++agg.failed;
+            continue;
+        }
+        if (r.imbalance_converged) ++agg.converged;
+        if (!r.conservation_ok) ++agg.conservation_failures;
+        agg.worst_final_discrepancy =
+            std::max(agg.worst_final_discrepancy, r.final_max_minus_average);
+        agg.total_injected += r.total_injected;
+        agg.total_drained += r.total_drained;
+    }
+    return agg;
+}
+
+void write_scenario_json(json_writer& json, const scenario_result& r,
+                         bool include_timing)
+{
+    json.begin_object();
+    json.member("index", r.index);
+    json.member("label", std::string_view(r.label));
+    json.key("spec");
+    json.begin_object();
+    for (const auto& field : field_names())
+        json.member(field, std::string_view(get_field(r.spec, field)));
+    json.end_object();
+    if (!r.error.empty()) {
+        json.member("error", std::string_view(r.error));
+        json.end_object();
+        return;
+    }
+    json.member("nodes", r.nodes);
+    json.member("edges", r.edges);
+    if (r.lambda >= 0.0) json.member("lambda", r.lambda);
+    json.member("beta", r.beta);
+    json.member("initial_total", r.initial_total);
+    json.member("final_max_minus_average", r.final_max_minus_average);
+    json.member("final_max_local_difference", r.final_max_local_difference);
+    json.member("remaining_imbalance", r.remaining_imbalance);
+    json.member("imbalance_converged", r.imbalance_converged);
+    json.member("rounds_to_plateau", r.rounds_to_plateau);
+    json.member("switch_round", r.switch_round);
+    json.member("min_load", r.negative.min_end_of_round_load);
+    json.member("min_transient_load", r.negative.min_transient_load);
+    json.member("negative_end_rounds", r.negative.rounds_with_negative_end_load);
+    json.member("negative_transient_rounds",
+                r.negative.rounds_with_negative_transient);
+    json.member("total_injected", r.total_injected);
+    json.member("total_drained", r.total_drained);
+    json.member("conservation_ok", r.conservation_ok);
+    if (include_timing) json.member("wall_seconds", r.wall_seconds);
+    json.end_object();
+}
+
+} // namespace
+
+void write_json(std::ostream& out, const campaign_result& result,
+                bool include_timing)
+{
+    json_writer json(out);
+    json.begin_object();
+    json.member("name", std::string_view(result.spec.name));
+    json.member("scenario_count",
+                static_cast<std::int64_t>(result.scenarios.size()));
+
+    json.key("base");
+    json.begin_object();
+    for (const auto& field : field_names())
+        json.member(field, std::string_view(get_field(result.spec.base, field)));
+    json.end_object();
+
+    json.key("axes");
+    json.begin_object();
+    for (const auto& [field, values] : result.spec.axes) {
+        json.key(field);
+        json.begin_array();
+        for (const auto& value : values) json.value(std::string_view(value));
+        json.end_array();
+    }
+    json.end_object();
+
+    const aggregate agg = aggregate_of(result);
+    json.key("aggregate");
+    json.begin_object();
+    json.member("failed", agg.failed);
+    json.member("converged", agg.converged);
+    json.member("conservation_failures", agg.conservation_failures);
+    json.member("worst_final_discrepancy", agg.worst_final_discrepancy);
+    json.member("total_injected", agg.total_injected);
+    json.member("total_drained", agg.total_drained);
+    json.end_object();
+
+    json.key("scenarios");
+    json.begin_array();
+    for (const auto& r : result.scenarios)
+        write_scenario_json(json, r, include_timing);
+    json.end_array();
+
+    if (include_timing) json.member("wall_seconds", result.wall_seconds);
+    json.end_object();
+    out << "\n";
+}
+
+std::vector<std::string> csv_header(bool include_timing)
+{
+    std::vector<std::string> header = {"index", "label"};
+    for (const auto& field : field_names()) header.push_back(field);
+    const std::vector<std::string> metrics = {
+        "resolved_nodes",
+        "resolved_edges",
+        "lambda",
+        "resolved_beta",
+        "initial_total",
+        "final_max_minus_average",
+        "final_max_local_difference",
+        "remaining_imbalance",
+        "imbalance_converged",
+        "rounds_to_plateau",
+        "switch_round",
+        "min_load",
+        "min_transient_load",
+        "negative_end_rounds",
+        "negative_transient_rounds",
+        "total_injected",
+        "total_drained",
+        "conservation_ok",
+        "error",
+    };
+    header.insert(header.end(), metrics.begin(), metrics.end());
+    if (include_timing) header.push_back("wall_seconds");
+    return header;
+}
+
+void write_csv(std::ostream& out, const campaign_result& result,
+               bool include_timing)
+{
+    auto emit_row = [&out](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0) out << ",";
+            out << csv_writer::escape(cells[i]);
+        }
+        out << "\n";
+    };
+
+    emit_row(csv_header(include_timing));
+    for (const auto& r : result.scenarios) {
+        std::vector<std::string> cells = {std::to_string(r.index), r.label};
+        for (const auto& field : field_names())
+            cells.push_back(get_field(r.spec, field));
+        if (r.error.empty()) {
+            cells.push_back(std::to_string(r.nodes));
+            cells.push_back(std::to_string(r.edges));
+            cells.push_back(r.lambda >= 0.0 ? format_double(r.lambda) : "");
+            cells.push_back(format_double(r.beta));
+            cells.push_back(std::to_string(r.initial_total));
+            cells.push_back(format_double(r.final_max_minus_average));
+            cells.push_back(format_double(r.final_max_local_difference));
+            cells.push_back(format_double(r.remaining_imbalance));
+            cells.push_back(r.imbalance_converged ? "1" : "0");
+            cells.push_back(std::to_string(r.rounds_to_plateau));
+            cells.push_back(std::to_string(r.switch_round));
+            cells.push_back(format_double(r.negative.min_end_of_round_load));
+            cells.push_back(format_double(r.negative.min_transient_load));
+            cells.push_back(
+                std::to_string(r.negative.rounds_with_negative_end_load));
+            cells.push_back(
+                std::to_string(r.negative.rounds_with_negative_transient));
+            cells.push_back(std::to_string(r.total_injected));
+            cells.push_back(std::to_string(r.total_drained));
+            cells.push_back(r.conservation_ok ? "1" : "0");
+            cells.push_back("");
+        } else {
+            for (int i = 0; i < 18; ++i) cells.push_back("");
+            cells.push_back(r.error);
+        }
+        if (include_timing) cells.push_back(format_double(r.wall_seconds));
+        emit_row(cells);
+    }
+}
+
+void print_campaign_summary(std::ostream& out, const campaign_result& result)
+{
+    out << "campaign '" << result.spec.name << "': "
+        << result.scenarios.size() << " scenarios\n";
+    for (const auto& r : result.scenarios) {
+        out << "  [" << r.index << "] " << r.label;
+        if (!r.error.empty()) {
+            out << "  ERROR: " << r.error << "\n";
+            continue;
+        }
+        out << "  final max-avg=" << r.final_max_minus_average
+            << " plateau=" << r.remaining_imbalance
+            << (r.imbalance_converged ? "" : " (not converged)");
+        if (r.switch_round >= 0) out << " switch@" << r.switch_round;
+        if (r.total_injected > 0 || r.total_drained > 0)
+            out << " +" << r.total_injected << "/-" << r.total_drained;
+        if (!r.conservation_ok) out << "  CONSERVATION VIOLATED";
+        out << "\n";
+    }
+    const aggregate agg = aggregate_of(result);
+    out << "aggregate: failed=" << agg.failed << " converged=" << agg.converged
+        << " conservation_failures=" << agg.conservation_failures
+        << " worst_final_discrepancy=" << agg.worst_final_discrepancy
+        << " injected=" << agg.total_injected
+        << " drained=" << agg.total_drained << "\n"
+        << "wall time: " << result.wall_seconds << " s\n";
+}
+
+} // namespace dlb::campaign

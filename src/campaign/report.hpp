@@ -1,0 +1,35 @@
+// Campaign result reporters: aggregated JSON and CSV.
+//
+// Output is deterministic and byte-stable for a given campaign_result
+// (modulo the wall-clock fields, which are only emitted when
+// `include_timing` is set — leave it off when diffing runs or asserting
+// thread-count independence).
+#ifndef DLB_CAMPAIGN_REPORT_HPP
+#define DLB_CAMPAIGN_REPORT_HPP
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign_executor.hpp"
+
+namespace dlb::campaign {
+
+/// Full campaign report: spec echo, sweep axes, per-scenario summaries and
+/// an aggregate block.
+void write_json(std::ostream& out, const campaign_result& result,
+                bool include_timing = false);
+
+/// One row per scenario with a fixed header (see csv_header).
+void write_csv(std::ostream& out, const campaign_result& result,
+               bool include_timing = false);
+
+/// The CSV column names, in emission order.
+std::vector<std::string> csv_header(bool include_timing = false);
+
+/// Short per-scenario console lines plus the aggregate tally.
+void print_campaign_summary(std::ostream& out, const campaign_result& result);
+
+} // namespace dlb::campaign
+
+#endif // DLB_CAMPAIGN_REPORT_HPP

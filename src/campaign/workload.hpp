@@ -1,0 +1,51 @@
+// Dynamic workload models: per-round token injection and drain.
+//
+// These open the workload class of Berenbrink et al., "Dynamic Averaging
+// Load Balancing on Arbitrary Graphs": the balancer no longer chases a fixed
+// initial imbalance but a stream of arrivals/departures. All randomness is
+// drawn from per-(seed, round) streams, so a workload is bit-identical
+// across thread counts and reruns.
+//
+//   static  — no dynamic load (the paper's setting); make_workload -> null
+//   poisson — k ~ Poisson(rate) tokens arrive each round, each at a
+//             uniformly random node
+//   burst   — `amount` tokens arrive at one random node every `period` rounds
+//   drain   — `rate` departure attempts per round at random nodes; a node at
+//             zero is skipped, so loads never go negative from draining
+#ifndef DLB_CAMPAIGN_WORKLOAD_HPP
+#define DLB_CAMPAIGN_WORKLOAD_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/runner.hpp"
+#include "util/rng.hpp"
+
+namespace dlb::campaign {
+
+struct workload_spec {
+    std::string kind = "static"; // static | poisson | burst | drain
+    double rate = 0.0;           // poisson/drain: expected tokens per round
+    std::int64_t amount = 0;     // burst: tokens per burst
+    std::int64_t period = 0;     // burst: rounds between bursts (>= 1)
+};
+
+/// Registered workload model names.
+const std::vector<std::string>& workload_names();
+
+/// Builds the hook for `spec` over `nodes` nodes. Returns null for "static"
+/// (run_experiment treats a null workload as the classic static setting).
+/// Throws std::invalid_argument on unknown kinds or bad parameters.
+std::unique_ptr<workload_hook> make_workload(const workload_spec& spec,
+                                             node_id nodes,
+                                             std::uint64_t seed);
+
+/// Deterministic Poisson(mean) sample driven by `rng`; exposed for tests.
+std::int64_t poisson_sample(xoshiro256ss& rng, double mean);
+
+} // namespace dlb::campaign
+
+#endif // DLB_CAMPAIGN_WORKLOAD_HPP

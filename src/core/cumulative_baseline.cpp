@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <stdexcept>
 
 namespace dlb {
 
@@ -37,6 +38,17 @@ void cumulative_process::set_scheme(scheme_params scheme)
 std::int64_t cumulative_process::total_load() const
 {
     return std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+void cumulative_process::inject(std::span<const std::int64_t> delta)
+{
+    if (delta.size() != load_.size())
+        throw std::invalid_argument("inject: delta size mismatch");
+    continuous_.inject(delta);
+    for (std::size_t v = 0; v < delta.size(); ++v) {
+        load_[v] += delta[v];
+        external_total_ += delta[v];
+    }
 }
 
 double cumulative_process::max_cumulative_error() const

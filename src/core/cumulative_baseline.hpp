@@ -36,7 +36,18 @@ public:
 
     std::int64_t total_load() const;
     std::int64_t initial_total() const noexcept { return initial_total_; }
-    bool verify_conservation() const { return total_load() == initial_total_; }
+    bool verify_conservation() const
+    {
+        return total_load() == initial_total_ + external_total_;
+    }
+
+    /// Applies an external per-node load change to the discrete state and
+    /// the internal continuous twin, so the cumulative-flow discretization
+    /// keeps following a target with the same total.
+    void inject(std::span<const std::int64_t> delta);
+
+    /// Net externally injected tokens since construction.
+    std::int64_t external_total() const noexcept { return external_total_; }
 
     const negative_load_stats& negative_stats() const noexcept { return negative_; }
 
@@ -55,6 +66,7 @@ private:
     std::vector<std::int64_t> cumulative_discrete_; // per half-edge
     std::int64_t round_ = 0;
     std::int64_t initial_total_ = 0;
+    std::int64_t external_total_ = 0;
     negative_load_stats negative_;
 };
 

@@ -13,11 +13,15 @@ bool hybrid_controller::should_switch(std::int64_t round, double local_differenc
     case switch_policy::trigger::at_round:
         fire = round >= policy_.round;
         break;
+    // Threshold triggers never fire on round 0: the metrics passed in then
+    // describe the raw initial load, not anything SOS has produced, so a
+    // benign initial distribution (e.g. near-balanced) would switch to FOS
+    // before the second-order scheme ran a single round.
     case switch_policy::trigger::local_threshold:
-        fire = local_difference <= policy_.threshold;
+        fire = round > 0 && local_difference <= policy_.threshold;
         break;
     case switch_policy::trigger::global_threshold:
-        fire = global_difference <= policy_.threshold;
+        fire = round > 0 && global_difference <= policy_.threshold;
         break;
     }
     if (fire) {

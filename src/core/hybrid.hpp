@@ -52,7 +52,9 @@ public:
     explicit hybrid_controller(switch_policy policy) : policy_(policy) {}
 
     /// `round` is the upcoming round index; metrics are from the current
-    /// state. Returns true exactly once, on the triggering round.
+    /// state. Returns true exactly once, on the triggering round. Threshold
+    /// triggers are suppressed on round 0, where the metrics reflect the
+    /// initial load rather than any scheme progress.
     bool should_switch(std::int64_t round, double local_difference,
                        double global_difference);
 

@@ -50,6 +50,16 @@ double continuous_process::total_load() const
     return std::accumulate(load_.begin(), load_.end(), 0.0);
 }
 
+void continuous_process::inject(std::span<const std::int64_t> delta)
+{
+    if (delta.size() != load_.size())
+        throw std::invalid_argument("inject: delta size mismatch");
+    for (std::size_t v = 0; v < delta.size(); ++v) {
+        load_[v] += static_cast<double>(delta[v]);
+        external_total_ += static_cast<double>(delta[v]);
+    }
+}
+
 void continuous_process::step()
 {
     const graph& g = *config_.network;
@@ -137,6 +147,16 @@ void discrete_process::set_scheme(scheme_params scheme)
 std::int64_t discrete_process::total_load() const
 {
     return std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+void discrete_process::inject(std::span<const std::int64_t> delta)
+{
+    if (delta.size() != load_.size())
+        throw std::invalid_argument("inject: delta size mismatch");
+    for (std::size_t v = 0; v < delta.size(); ++v) {
+        load_[v] += delta[v];
+        external_total_ += delta[v];
+    }
 }
 
 void discrete_process::step()

@@ -67,10 +67,17 @@ public:
     std::span<const double> previous_flows() const noexcept { return previous_flows_; }
     const diffusion_config& config() const noexcept { return config_; }
 
-    /// Total load right now; differs from initial_total() only by
-    /// accumulated floating-point drift (paper Figure 6, right).
+    /// Total load right now; differs from initial_total() + external_total()
+    /// only by accumulated floating-point drift (paper Figure 6, right).
     double total_load() const;
     double initial_total() const noexcept { return initial_total_; }
+
+    /// Applies an external per-node load change (dynamic workloads: token
+    /// arrivals > 0, departures < 0). `delta` must have one entry per node.
+    void inject(std::span<const std::int64_t> delta);
+
+    /// Net externally injected load since construction.
+    double external_total() const noexcept { return external_total_; }
 
     const negative_load_stats& negative_stats() const noexcept { return negative_; }
 
@@ -88,6 +95,7 @@ private:
     std::int64_t round_ = 0;
     std::int64_t rounds_in_scheme_ = 0;
     double initial_total_ = 0.0;
+    double external_total_ = 0.0;
     negative_load_stats negative_;
 };
 
@@ -111,11 +119,22 @@ public:
     rounding_kind rounding() const noexcept { return rounding_; }
     std::uint64_t seed() const noexcept { return seed_; }
 
-    /// Exact token conservation: total_load() == initial_total() always
+    /// Exact token conservation modulo external injection:
+    /// total_load() == initial_total() + external_total() always
     /// (verified by verify_conservation()).
     std::int64_t total_load() const;
     std::int64_t initial_total() const noexcept { return initial_total_; }
-    bool verify_conservation() const { return total_load() == initial_total_; }
+    bool verify_conservation() const
+    {
+        return total_load() == initial_total_ + external_total_;
+    }
+
+    /// Applies an external per-node load change (dynamic workloads: token
+    /// arrivals > 0, departures < 0). `delta` must have one entry per node.
+    void inject(std::span<const std::int64_t> delta);
+
+    /// Net externally injected tokens since construction.
+    std::int64_t external_total() const noexcept { return external_total_; }
 
     const negative_load_stats& negative_stats() const noexcept { return negative_; }
 
@@ -143,6 +162,7 @@ private:
     std::int64_t round_ = 0;
     std::int64_t rounds_in_scheme_ = 0;
     std::int64_t initial_total_ = 0;
+    std::int64_t external_total_ = 0;
     std::int64_t clipped_tokens_ = 0;
     negative_load_stats negative_;
 };

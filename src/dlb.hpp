@@ -44,6 +44,12 @@
 #include "core/second_order_matrix.hpp"
 #include "core/speeds.hpp"
 
+#include "campaign/campaign_executor.hpp"
+#include "campaign/registry.hpp"
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+#include "campaign/workload.hpp"
+
 #include "sim/eigen_impact.hpp"
 #include "sim/initial_load.hpp"
 #include "sim/recorder.hpp"
@@ -53,6 +59,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 

@@ -24,6 +24,8 @@ struct time_series {
     std::vector<double> total_load_error;     // |total(t) - total(0)|, FP drift
 
     std::int64_t switch_round = -1;           // -1: never switched
+    std::int64_t total_injected = 0;          // workload tokens added (dynamic runs)
+    std::int64_t total_drained = 0;           // workload tokens removed, >= 0
     negative_load_stats negative;
     double remaining_imbalance = 0.0;         // plateau median (metric 5)
     bool imbalance_converged = false;

@@ -1,5 +1,6 @@
 #include "sim/runner.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
@@ -22,14 +23,26 @@ time_series run_loop(Engine& engine, const experiment_config& config,
     const double total0 =
         std::accumulate(load0.begin(), load0.end(), 0.0,
                         [](double acc, auto v) { return acc + static_cast<double>(v); });
-    const std::vector<double> ideal =
-        config.diffusion.speeds.ideal_load(total0);
+    std::vector<double> ideal = config.diffusion.speeds.ideal_load(total0);
 
     hybrid_controller hybrid(config.switching);
     imbalance_tracker tracker(config.imbalance_window);
 
     time_series out;
     const bool with_twin = twin != nullptr;
+
+    // Dynamic-workload state: the conservation baseline follows the injected
+    // tokens, and the ideal vector is recomputed when the total changes.
+    const bool dynamic = config.workload != nullptr;
+    double baseline_total = total0;
+    bool ideal_stale = false; // injected rounds invalidate `ideal`; recompute
+                              // lazily, only when a recorded round reads it
+    std::vector<std::int64_t> delta;
+    std::vector<double> load_view;
+    if (dynamic) {
+        delta.resize(static_cast<std::size_t>(g.num_nodes()));
+        load_view.resize(delta.size());
+    }
 
     for (std::int64_t t = 0;; ++t) {
         const auto load = engine.load();
@@ -38,6 +51,10 @@ time_series run_loop(Engine& engine, const experiment_config& config,
         tracker.observe(global);
 
         if (t % config.record_every == 0 || t == config.rounds) {
+            if (ideal_stale) {
+                ideal = config.diffusion.speeds.ideal_load(baseline_total);
+                ideal_stale = false;
+            }
             out.rounds.push_back(t);
             out.max_minus_average.push_back(global);
             out.max_local_difference.push_back(local);
@@ -50,7 +67,7 @@ time_series run_loop(Engine& engine, const experiment_config& config,
             const double total_now = std::accumulate(
                 load.begin(), load.end(), 0.0,
                 [](double acc, auto v) { return acc + static_cast<double>(v); });
-            out.total_load_error.push_back(std::abs(total_now - total0));
+            out.total_load_error.push_back(std::abs(total_now - baseline_total));
             if (with_twin)
                 out.deviation_from_twin.push_back(
                     max_deviation(load, twin->load()));
@@ -62,6 +79,23 @@ time_series run_loop(Engine& engine, const experiment_config& config,
             engine.set_scheme(config.switch_to);
             if (with_twin) twin->set_scheme(config.switch_to);
             out.switch_round = t;
+        }
+
+        if (dynamic) {
+            std::copy(load.begin(), load.end(), load_view.begin());
+            std::fill(delta.begin(), delta.end(), std::int64_t{0});
+            if (config.workload->apply(t, load_view, delta)) {
+                engine.inject(delta);
+                if (with_twin) twin->inject(delta);
+                for (const std::int64_t d : delta) {
+                    baseline_total += static_cast<double>(d);
+                    if (d > 0)
+                        out.total_injected += d;
+                    else
+                        out.total_drained -= d;
+                }
+                ideal_stale = true;
+            }
         }
 
         engine.step();

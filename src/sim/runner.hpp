@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/cumulative_baseline.hpp"
@@ -21,6 +22,22 @@ enum class process_kind {
     discrete,   // discrete_process with the configured rounding
     continuous, // idealized double-precision process (paper "idealized")
     cumulative, // the [2]-style cumulative baseline
+};
+
+/// Per-round external load change for dynamic workloads (the model class of
+/// Berenbrink et al., "Dynamic Averaging Load Balancing on Arbitrary
+/// Graphs"). Implementations live in campaign/workload; the runner only
+/// needs this interface.
+class workload_hook {
+public:
+    virtual ~workload_hook() = default;
+
+    /// Called once per round t in [0, rounds) before the diffusion step.
+    /// `load[v]` is node v's current load; fill `delta` (pre-zeroed, one
+    /// entry per node) with tokens to inject (> 0) or drain (< 0). Return
+    /// true when any entry is nonzero.
+    virtual bool apply(std::int64_t round, std::span<const double> load,
+                       std::span<std::int64_t> delta) = 0;
 };
 
 struct experiment_config {
@@ -43,6 +60,10 @@ struct experiment_config {
 
     /// Plateau detection window for the remaining-imbalance metric.
     std::int64_t imbalance_window = 200;
+
+    /// Optional dynamic workload; token conservation is then verified
+    /// modulo the injected/drained totals. Must outlive the run.
+    workload_hook* workload = nullptr;
 
     executor* exec = nullptr; // nullptr: serial
 };

@@ -44,6 +44,14 @@ bool cli_args::has(const std::string& name) const
     return options_.count(name) > 0;
 }
 
+std::vector<std::string> cli_args::option_names() const
+{
+    std::vector<std::string> names;
+    names.reserve(options_.size());
+    for (const auto& [name, value] : options_) names.push_back(name);
+    return names;
+}
+
 std::string cli_args::get_string(const std::string& name,
                                  const std::string& fallback) const
 {
@@ -56,6 +64,17 @@ std::int64_t cli_args::get_int(const std::string& name, std::int64_t fallback) c
     const auto it = options_.find(name);
     if (it == options_.end() || it->second.empty()) return fallback;
     return std::stoll(it->second);
+}
+
+std::uint64_t cli_args::get_uint64(const std::string& name,
+                                   std::uint64_t fallback) const
+{
+    const auto it = options_.find(name);
+    if (it == options_.end() || it->second.empty()) return fallback;
+    if (it->second[0] == '-')
+        throw std::invalid_argument("cli_args: negative value for unsigned --" +
+                                    name);
+    return std::stoull(it->second);
 }
 
 double cli_args::get_double(const std::string& name, double fallback) const

@@ -23,11 +23,17 @@ public:
 
     std::string get_string(const std::string& name, const std::string& fallback) const;
     std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+    /// Unsigned parse path: values up to UINT64_MAX survive unmangled
+    /// (get_int round-trips through signed and corrupts seeds > INT64_MAX).
+    std::uint64_t get_uint64(const std::string& name, std::uint64_t fallback) const;
     double get_double(const std::string& name, double fallback) const;
     bool get_bool(const std::string& name, bool fallback) const;
 
     /// Positional (non-option) arguments in order.
     const std::vector<std::string>& positional() const noexcept { return positional_; }
+
+    /// All option names present, sorted; lets binaries reject unknown options.
+    std::vector<std::string> option_names() const;
 
     /// Program name (argv[0]).
     const std::string& program() const noexcept { return program_; }

@@ -1,0 +1,167 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/csv.hpp" // format_double
+
+namespace dlb {
+
+json_writer::json_writer(std::ostream& out) : out_(out) {}
+
+json_writer::~json_writer() = default;
+
+void json_writer::before_value()
+{
+    if (done_) throw std::logic_error("json_writer: document already complete");
+    if (stack_.empty()) return; // root value
+    if (stack_.back() == frame::object && !key_pending_)
+        throw std::logic_error("json_writer: value inside object needs a key");
+    if (stack_.back() == frame::array) {
+        if (!first_.back()) out_ << ",";
+        out_ << "\n";
+        indent();
+        first_.back() = false;
+    }
+    key_pending_ = false;
+}
+
+void json_writer::indent()
+{
+    for (std::size_t i = 0; i < stack_.size(); ++i) out_ << "  ";
+}
+
+void json_writer::key(std::string_view name)
+{
+    if (done_ || stack_.empty() || stack_.back() != frame::object)
+        throw std::logic_error("json_writer: key outside object");
+    if (key_pending_) throw std::logic_error("json_writer: duplicate key call");
+    if (!first_.back()) out_ << ",";
+    out_ << "\n";
+    indent();
+    first_.back() = false;
+    out_ << "\"" << escape(name) << "\": ";
+    key_pending_ = true;
+}
+
+void json_writer::begin_object()
+{
+    before_value();
+    out_ << "{";
+    stack_.push_back(frame::object);
+    first_.push_back(true);
+}
+
+void json_writer::end_object()
+{
+    if (stack_.empty() || stack_.back() != frame::object || key_pending_)
+        throw std::logic_error("json_writer: unbalanced end_object");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty) {
+        out_ << "\n";
+        indent();
+    }
+    out_ << "}";
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::begin_array()
+{
+    before_value();
+    out_ << "[";
+    stack_.push_back(frame::array);
+    first_.push_back(true);
+}
+
+void json_writer::end_array()
+{
+    if (stack_.empty() || stack_.back() != frame::array)
+        throw std::logic_error("json_writer: unbalanced end_array");
+    const bool empty = first_.back();
+    stack_.pop_back();
+    first_.pop_back();
+    if (!empty) {
+        out_ << "\n";
+        indent();
+    }
+    out_ << "]";
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::value(std::string_view text)
+{
+    before_value();
+    out_ << "\"" << escape(text) << "\"";
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::value(bool flag)
+{
+    before_value();
+    out_ << (flag ? "true" : "false");
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::value(double number)
+{
+    before_value();
+    // JSON has no Inf/NaN literals; report them as null.
+    if (std::isfinite(number))
+        out_ << format_double(number);
+    else
+        out_ << "null";
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::value(std::int64_t number)
+{
+    before_value();
+    out_ << number;
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::value(std::uint64_t number)
+{
+    before_value();
+    out_ << number;
+    if (stack_.empty()) done_ = true;
+}
+
+void json_writer::null()
+{
+    before_value();
+    out_ << "null";
+    if (stack_.empty()) done_ = true;
+}
+
+std::string json_writer::escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\b': out += "\\b"; break;
+        case '\f': out += "\\f"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char hex[] = "0123456789abcdef";
+                out += "\\u00";
+                out += hex[(c >> 4) & 0xf];
+                out += hex[c & 0xf];
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace dlb

@@ -1,0 +1,72 @@
+// Minimal streaming JSON writer for the campaign reporters.
+//
+// Emits deterministic, byte-stable output: keys in caller order, doubles via
+// format_double (round-trip precision), two-space indentation. No DOM — the
+// writer streams straight to an ostream, which keeps large campaign reports
+// O(1) in memory.
+#ifndef DLB_UTIL_JSON_HPP
+#define DLB_UTIL_JSON_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dlb {
+
+/// Structured writer with begin/end pairs for objects and arrays. Misuse
+/// (value without key inside an object, mismatched end) throws
+/// std::logic_error so reporter bugs surface in tests immediately.
+class json_writer {
+public:
+    explicit json_writer(std::ostream& out);
+    ~json_writer();
+
+    json_writer(const json_writer&) = delete;
+    json_writer& operator=(const json_writer&) = delete;
+
+    void begin_object();
+    void end_object();
+    void begin_array();
+    void end_array();
+
+    /// Emits the key of the next value; only valid inside an object.
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char* text) { value(std::string_view(text)); }
+    void value(bool flag);
+    void value(double number);
+    void value(std::int64_t number);
+    void value(std::uint64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void null();
+
+    /// key() + value() in one call.
+    template <class T>
+    void member(std::string_view name, T&& v)
+    {
+        key(name);
+        value(std::forward<T>(v));
+    }
+
+    /// JSON string escaping per RFC 8259 (quotes, backslash, control chars).
+    static std::string escape(std::string_view text);
+
+private:
+    enum class frame { object, array };
+
+    void before_value();
+    void indent();
+
+    std::ostream& out_;
+    std::vector<frame> stack_;
+    std::vector<bool> first_;  // parallel to stack_: no element emitted yet
+    bool key_pending_ = false;
+    bool done_ = false;
+};
+
+} // namespace dlb
+
+#endif // DLB_UTIL_JSON_HPP

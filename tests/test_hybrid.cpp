@@ -46,10 +46,27 @@ TEST(Hybrid, GlobalThreshold)
 TEST(Hybrid, SwitchIsOneWay)
 {
     hybrid_controller controller(switch_policy::when_local_below(10.0));
-    EXPECT_TRUE(controller.should_switch(0, 5.0, 0.0));
+    EXPECT_TRUE(controller.should_switch(1, 5.0, 0.0));
     // Metric going back above the threshold doesn't un-switch.
-    EXPECT_FALSE(controller.should_switch(1, 100.0, 0.0));
+    EXPECT_FALSE(controller.should_switch(2, 100.0, 0.0));
     EXPECT_TRUE(controller.switched());
+}
+
+TEST(Hybrid, ThresholdsNeverFireOnRoundZero)
+{
+    // Round-0 metrics describe the initial load, not scheme progress; a
+    // near-balanced start must not immediately abandon SOS.
+    hybrid_controller local(switch_policy::when_local_below(10.0));
+    EXPECT_FALSE(local.should_switch(0, 0.0, 0.0));
+    EXPECT_TRUE(local.should_switch(1, 0.0, 0.0));
+
+    hybrid_controller global(switch_policy::when_global_below(10.0));
+    EXPECT_FALSE(global.should_switch(0, 0.0, 0.0));
+    EXPECT_TRUE(global.should_switch(1, 0.0, 0.0));
+
+    // at_round(0) still fires immediately: an explicit request.
+    hybrid_controller at_zero(switch_policy::at(0));
+    EXPECT_TRUE(at_zero.should_switch(0, 100.0, 100.0));
 }
 
 TEST(Hybrid, PolicyFactories)

@@ -1,0 +1,90 @@
+// Tests for the streaming JSON writer.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace dlb {
+namespace {
+
+TEST(Json, NestedStructure)
+{
+    std::ostringstream out;
+    json_writer json(out);
+    json.begin_object();
+    json.member("name", "demo");
+    json.member("count", 3);
+    json.member("ratio", 0.5);
+    json.member("ok", true);
+    json.key("items");
+    json.begin_array();
+    json.value(std::int64_t{1});
+    json.value("two");
+    json.null();
+    json.end_array();
+    json.key("empty");
+    json.begin_object();
+    json.end_object();
+    json.end_object();
+
+    EXPECT_EQ(out.str(),
+              "{\n"
+              "  \"name\": \"demo\",\n"
+              "  \"count\": 3,\n"
+              "  \"ratio\": 0.5,\n"
+              "  \"ok\": true,\n"
+              "  \"items\": [\n"
+              "    1,\n"
+              "    \"two\",\n"
+              "    null\n"
+              "  ],\n"
+              "  \"empty\": {}\n"
+              "}");
+}
+
+TEST(Json, EscapesControlAndQuoteCharacters)
+{
+    EXPECT_EQ(json_writer::escape("plain"), "plain");
+    EXPECT_EQ(json_writer::escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_writer::escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+    EXPECT_EQ(json_writer::escape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    std::ostringstream out;
+    json_writer json(out);
+    json.begin_array();
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(std::numeric_limits<double>::quiet_NaN());
+    json.end_array();
+    EXPECT_EQ(out.str(), "[\n  null,\n  null\n]");
+}
+
+TEST(Json, MisuseThrows)
+{
+    {
+        std::ostringstream out;
+        json_writer json(out);
+        json.begin_object();
+        EXPECT_THROW(json.value("missing key"), std::logic_error);
+    }
+    {
+        std::ostringstream out;
+        json_writer json(out);
+        json.begin_array();
+        EXPECT_THROW(json.key("key in array"), std::logic_error);
+        EXPECT_THROW(json.end_object(), std::logic_error);
+    }
+    {
+        std::ostringstream out;
+        json_writer json(out);
+        json.value("done");
+        EXPECT_THROW(json.value("second root"), std::logic_error);
+    }
+}
+
+} // namespace
+} // namespace dlb
