@@ -62,6 +62,138 @@ void bm_continuous_step_sos(benchmark::State& state)
 }
 BENCHMARK(bm_continuous_step_sos)->Arg(128)->Arg(256);
 
+// --- edge-kernel benchmarks: canonical vs the pre-refactor two-sided ----
+
+/// Scheduled-flow state frozen from a warmed-up engine, so the kernels see
+/// a realistic mid-run distribution instead of a synthetic one.
+struct kernel_fixture {
+    const graph& g;
+    std::vector<double> alpha;
+    scheme_params scheme;
+    std::vector<double> x;
+    std::vector<double> prev;
+    std::vector<double> scheduled;
+    std::vector<std::int64_t> flows;
+
+    explicit kernel_fixture(std::int64_t side)
+        : g(torus_for(side)),
+          alpha(make_alpha(g, alpha_policy::max_degree_plus_one)),
+          scheme(sos_scheme(beta_opt(torus_2d_lambda(
+              static_cast<node_id>(side), static_cast<node_id>(side)))))
+    {
+        discrete_process proc(make_config(g, scheme),
+                              point_load(g.num_nodes(), 0, g.num_nodes() * 1000LL),
+                              rounding_kind::randomized, 1);
+        for (int i = 0; i < 600; ++i) proc.step();
+        x.assign(proc.load().begin(), proc.load().end());
+        prev.resize(static_cast<std::size_t>(g.num_half_edges()));
+        for (half_edge_id h = 0; h < g.num_half_edges(); ++h)
+            prev[h] = static_cast<double>(proc.previous_flows()[h]);
+        scheduled.assign(proc.last_scheduled_flows().begin(),
+                         proc.last_scheduled_flows().end());
+        flows.resize(prev.size());
+    }
+};
+
+void bm_scheduled_flows_canonical(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    std::vector<double> out(fx.prev.size());
+    for (auto _ : state)
+        scheduled_flows(fx.g, fx.alpha, fx.scheme, 5, fx.x, fx.prev, out,
+                        default_executor());
+    state.SetItemsProcessed(state.iterations() * fx.g.num_edges());
+}
+BENCHMARK(bm_scheduled_flows_canonical)->Arg(128)->Arg(256);
+
+void bm_scheduled_flows_reference(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    std::vector<double> out(fx.prev.size());
+    for (auto _ : state)
+        scheduled_flows_reference(fx.g, fx.alpha, fx.scheme, 5, fx.x, fx.prev,
+                                  out, default_executor());
+    state.SetItemsProcessed(state.iterations() * fx.g.num_edges());
+}
+BENCHMARK(bm_scheduled_flows_reference)->Arg(128)->Arg(256);
+
+void bm_round_flows_canonical(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    std::int64_t round = 0;
+    for (auto _ : state)
+        round_flows(fx.g, rounding_kind::randomized, fx.scheduled, 3, round++,
+                    fx.flows, default_executor());
+    state.SetItemsProcessed(state.iterations() * fx.g.num_edges());
+}
+BENCHMARK(bm_round_flows_canonical)->Arg(256);
+
+void bm_round_flows_reference(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    std::int64_t round = 0;
+    for (auto _ : state)
+        round_flows_reference(fx.g, rounding_kind::randomized, fx.scheduled, 3,
+                              round++, fx.flows, default_executor());
+    state.SetItemsProcessed(state.iterations() * fx.g.num_edges());
+}
+BENCHMARK(bm_round_flows_reference)->Arg(256);
+
+void bm_round_flows_randomized_owner(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    std::int64_t round = 0;
+    for (auto _ : state)
+        round_flows_randomized_owner(fx.g, fx.scheduled, 3, round++, fx.flows,
+                                     default_executor());
+    state.SetItemsProcessed(state.iterations() * fx.g.num_edges());
+}
+BENCHMARK(bm_round_flows_randomized_owner)->Arg(256);
+
+/// The full pre-refactor round pipeline (two-sided kernel, owner+mirror
+/// rounding, separate apply / min-scan / int->double conversion sweeps),
+/// for an in-binary apples-to-apples baseline of the engine step.
+void bm_discrete_step_sos_reference(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    const graph& g = fx.g;
+    std::vector<std::int64_t> load(fx.x.begin(), fx.x.end());
+    std::vector<double> x(g.num_nodes()), transient(g.num_nodes());
+    std::vector<double> prevd = fx.prev;
+    std::vector<std::int64_t> flows(prevd.size()), previ(prevd.size());
+    std::int64_t round = 600;
+    for (auto _ : state) {
+        for (node_id v = 0; v < g.num_nodes(); ++v)
+            x[v] = static_cast<double>(load[v]);
+        scheduled_flows_reference(g, fx.alpha, fx.scheme, 5, x, prevd,
+                                  fx.scheduled, default_executor());
+        round_flows_reference(g, rounding_kind::randomized, fx.scheduled, 1,
+                              round++, flows, default_executor());
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            std::int64_t net = 0;
+            std::int64_t positive = 0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v);
+                 ++h) {
+                net += flows[h];
+                if (flows[h] > 0) positive += flows[h];
+            }
+            transient[v] = static_cast<double>(load[v] - positive);
+            load[v] -= net;
+        }
+        double min_end = load.front() * 1.0, min_tr = transient.front();
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            min_end = std::min(min_end, static_cast<double>(load[v]));
+            min_tr = std::min(min_tr, transient[v]);
+        }
+        benchmark::DoNotOptimize(min_end + min_tr);
+        std::swap(previ, flows);
+        for (std::size_t h = 0; h < previ.size(); ++h)
+            prevd[h] = static_cast<double>(previ[h]);
+    }
+    state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(bm_discrete_step_sos_reference)->Arg(256);
+
 void bm_rounding(benchmark::State& state, rounding_kind kind)
 {
     const graph& g = torus_for(128);

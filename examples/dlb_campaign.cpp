@@ -31,6 +31,9 @@ void print_usage(std::ostream& out)
            "  --sweep.<field> A,B,C  sweep a field over a value list\n"
            "  --seeds N              sweep seed over base..base+N-1\n"
            "  --threads N            parallel scenario workers (0: hardware)\n"
+           "  --engine-threads N     in-engine round-kernel workers per scenario\n"
+           "                         (0: hardware, 1: serial; N != 1 runs the\n"
+           "                         scenario fan-out serially)\n"
            "  --record-every N       series sampling stride (0: rounds/256)\n"
            "  --json PATH            write the aggregated JSON report\n"
            "  --csv PATH             write the per-scenario CSV report\n"
@@ -68,7 +71,8 @@ int main(int argc, char** argv)
         // Known option names: harness flags plus every scenario field in
         // base and sweep form. Anything else is a typo worth failing on.
         std::set<std::string> known = {"spec",    "name",   "seeds",
-                                       "threads", "record-every", "json",
+                                       "threads", "engine-threads",
+                                       "record-every", "json",
                                        "csv",     "series-dir",   "timing",
                                        "quiet",   "dry-run",      "help"};
         for (const auto& field : campaign::field_names()) {
@@ -112,8 +116,12 @@ int main(int argc, char** argv)
         }
 
         campaign::campaign_options options;
-        options.threads =
-            static_cast<unsigned>(args.get_int("threads", 0));
+        const std::int64_t threads = args.get_int("threads", 0);
+        const std::int64_t engine_threads = args.get_int("engine-threads", 1);
+        if (threads < 0 || engine_threads < 0)
+            throw std::invalid_argument("thread counts must be >= 0");
+        options.threads = static_cast<unsigned>(threads);
+        options.engine_threads = static_cast<unsigned>(engine_threads);
         options.record_every = args.get_int("record-every", 0);
         options.series_dir = args.get_string("series-dir", "");
         if (!args.get_bool("quiet", false)) options.progress = &std::cerr;

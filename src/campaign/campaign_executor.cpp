@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <filesystem>
+#include <memory>
 #include <mutex>
 #include <numeric>
 #include <ostream>
@@ -96,7 +97,8 @@ switch_policy resolve_switching(const scenario_spec& spec)
 
 scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                              std::int64_t record_every,
-                             const std::string& series_dir)
+                             const std::string& series_dir,
+                             executor* engine_exec)
 {
     scenario_result result;
     result.spec = spec;
@@ -163,8 +165,9 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
         // 200 can never converge on short campaign runs.
         config.imbalance_window = std::clamp<std::int64_t>(spec.rounds / 4, 8, 200);
         config.workload = workload.get();
-        config.exec = nullptr; // engines run serially; campaigns parallelize
-                               // across scenarios
+        config.exec = engine_exec; // nullptr: serial round kernels (the
+                                   // default when campaigns parallelize
+                                   // across scenarios instead)
 
         const time_series series = run_experiment(config, initial);
 
@@ -233,6 +236,14 @@ campaign_result detail_run(const campaign_spec& spec,
     std::atomic<std::int64_t> next{0};
     std::mutex progress_mutex;
 
+    // In-engine parallelism: one shared kernel pool handed to every
+    // scenario. The pool's parallel_for is a single-caller rendezvous, so
+    // scenario fan-out must be serial whenever engines are parallel; the
+    // two levels would oversubscribe the machine anyway.
+    std::unique_ptr<thread_pool> engine_pool;
+    if (options.engine_threads != 1)
+        engine_pool = std::make_unique<thread_pool>(options.engine_threads);
+
     // One experiment per task: every pool invocation drains a shared index
     // queue instead of sticking to its contiguous chunk, so a handful of
     // slow scenarios cannot idle the other workers. results[i] is written by
@@ -242,7 +253,8 @@ campaign_result detail_run(const campaign_spec& spec,
         std::int64_t i = 0;
         while ((i = next.fetch_add(1)) < count) {
             result.scenarios[i] =
-                run_scenario(scenarios[i], i, record_every, options.series_dir);
+                run_scenario(scenarios[i], i, record_every, options.series_dir,
+                             engine_pool.get());
             if (options.progress != nullptr) {
                 const std::scoped_lock lock(progress_mutex);
                 const auto& r = result.scenarios[i];
@@ -255,11 +267,12 @@ campaign_result detail_run(const campaign_spec& spec,
 
     unsigned threads = options.threads;
     if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    if (engine_pool != nullptr) threads = 1; // see engine_pool comment above
     if (threads <= 1 || count <= 1) {
         drain_queue(0, count);
     } else {
         thread_pool pool(threads);
-        pool.parallel_for(count, drain_queue);
+        pool.parallel_tasks(count, drain_queue);
     }
 
     result.wall_seconds = watch.seconds();

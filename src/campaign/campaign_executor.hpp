@@ -27,6 +27,13 @@ struct campaign_options {
     /// `<series_dir>/<index>_<label>.csv` (the per-round curves behind the
     /// paper figures; the summary reports only keep final values).
     std::string series_dir;
+    /// In-engine round-kernel workers per scenario (0: hardware, 1: serial).
+    /// Useful when a campaign is one large scenario rather than many small
+    /// ones. Any value other than 1 forces the scenario fan-out serial —
+    /// the two levels would otherwise oversubscribe each other — and
+    /// results stay byte-identical either way (the engines are
+    /// deterministic for any worker count).
+    unsigned engine_threads = 1;
 };
 
 /// Summary of one executed scenario. When `error` is non-empty the scenario
@@ -66,12 +73,15 @@ struct campaign_result {
     double wall_seconds = 0.0;
 };
 
-/// Resolves and runs one scenario serially; never throws — failures land in
+/// Resolves and runs one scenario; never throws — failures land in
 /// scenario_result::error so one bad cell cannot sink a sweep. A non-empty
 /// `series_dir` (must exist) also writes the recorded per-round series.
+/// `engine_exec` runs the per-round kernels (nullptr: serial); results are
+/// byte-identical regardless.
 scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                              std::int64_t record_every,
-                             const std::string& series_dir = {});
+                             const std::string& series_dir = {},
+                             executor* engine_exec = nullptr);
 
 /// Executes an explicit scenario list (programmatic campaigns, e.g. the
 /// bench reproductions). The spec echoed in the result carries `name` and

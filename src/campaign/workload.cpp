@@ -55,7 +55,9 @@ public:
     bool apply(std::int64_t round, std::span<const double>,
                std::span<std::int64_t> delta) override
     {
-        if (round % period_ != 0) return false;
+        // Skip round 0 (0 % period == 0 would fire before the scheme has
+        // run a single round); the first burst lands at round `period`.
+        if (round == 0 || round % period_ != 0) return false;
         auto rng = stream_for(seed_, 0, static_cast<std::uint64_t>(round));
         delta[rng.next_below(static_cast<std::uint64_t>(nodes_))] += amount_;
         return amount_ != 0;

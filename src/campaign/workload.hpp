@@ -9,7 +9,8 @@
 //   static  — no dynamic load (the paper's setting); make_workload -> null
 //   poisson — k ~ Poisson(rate) tokens arrive each round, each at a
 //             uniformly random node
-//   burst   — `amount` tokens arrive at one random node every `period` rounds
+//   burst   — `amount` tokens arrive at one random node every `period`
+//             rounds, starting at round `period` (never at round 0)
 //   drain   — `rate` departure attempts per round at random nodes; a node at
 //             zero is skipped, so loads never go negative from draining
 #ifndef DLB_CAMPAIGN_WORKLOAD_HPP

@@ -8,6 +8,18 @@ namespace dlb {
 
 namespace {
 
+/// Chunk-local minima of the fused apply+scan sweep.
+struct load_minima {
+    double end_of_round = std::numeric_limits<double>::infinity();
+    double transient = std::numeric_limits<double>::infinity();
+};
+
+load_minima combine_minima(load_minima a, load_minima b)
+{
+    return {std::min(a.end_of_round, b.end_of_round),
+            std::min(a.transient, b.transient)};
+}
+
 void validate_config(const diffusion_config& config, std::size_t load_size)
 {
     if (config.network == nullptr)
@@ -35,6 +47,7 @@ continuous_process::continuous_process(diffusion_config config,
     load_over_speed_.resize(load_.size());
     flows_.assign(static_cast<std::size_t>(config_.network->num_half_edges()), 0.0);
     previous_flows_.assign(flows_.size(), 0.0);
+    beta_state_.reset(config_.scheme);
     initial_total_ = std::accumulate(load_.begin(), load_.end(), 0.0);
 }
 
@@ -43,6 +56,7 @@ void continuous_process::set_scheme(scheme_params scheme)
     validate_scheme(scheme);
     config_.scheme = scheme;
     rounds_in_scheme_ = 0;
+    beta_state_.reset(scheme);
 }
 
 double continuous_process::total_load() const
@@ -74,30 +88,34 @@ void continuous_process::step()
     }
 
     scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
-                    load_over_speed_, previous_flows_, flows_, *exec_);
+                    beta_state_.next(), load_over_speed_, previous_flows_,
+                    flows_, *exec_);
 
-    // Apply flows; reuse load_over_speed_ as the per-node transient scratch.
-    std::vector<double>& transient = load_over_speed_;
-    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
-        for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
-            double net_out = 0.0;
-            double positive_out = 0.0;
-            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
-                const double f = flows_[h];
-                net_out += f;
-                if (f > 0.0) positive_out += f;
+    // Apply flows; the negative-load min-scan is fused into the same sweep,
+    // with per-chunk minima combined deterministically in chunk order.
+    const load_minima minima = exec_->parallel_reduce(
+        g.num_nodes(), load_minima{},
+        [&](std::int64_t begin, std::int64_t end) {
+            load_minima local;
+            for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+                double net_out = 0.0;
+                double positive_out = 0.0;
+                for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v);
+                     ++h) {
+                    const double f = flows_[h];
+                    net_out += f;
+                    if (f > 0.0) positive_out += f;
+                }
+                local.transient = std::min(local.transient, load_[v] - positive_out);
+                load_[v] -= net_out;
+                local.end_of_round = std::min(local.end_of_round, load_[v]);
             }
-            transient[v] = load_[v] - positive_out;
-            load_[v] -= net_out;
-        }
-    });
+            return local;
+        },
+        combine_minima);
 
-    double min_end = load_.empty() ? 0.0 : load_.front();
-    double min_transient = transient.empty() ? 0.0 : transient.front();
-    for (node_id v = 0; v < g.num_nodes(); ++v) {
-        min_end = std::min(min_end, load_[v]);
-        min_transient = std::min(min_transient, transient[v]);
-    }
+    const double min_end = load_.empty() ? 0.0 : minima.end_of_round;
+    const double min_transient = load_.empty() ? 0.0 : minima.transient;
     negative_.min_end_of_round_load =
         std::min(negative_.min_end_of_round_load, min_end);
     negative_.min_transient_load =
@@ -133,7 +151,7 @@ discrete_process::discrete_process(diffusion_config config,
     scheduled_.assign(half_edges, 0.0);
     flows_.assign(half_edges, 0);
     previous_flows_int_.assign(half_edges, 0);
-    previous_flows_.assign(half_edges, 0.0);
+    beta_state_.reset(config_.scheme);
     initial_total_ = std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
 }
 
@@ -142,6 +160,7 @@ void discrete_process::set_scheme(scheme_params scheme)
     validate_scheme(scheme);
     config_.scheme = scheme;
     rounds_in_scheme_ = 0;
+    beta_state_.reset(scheme);
 }
 
 std::int64_t discrete_process::total_load() const
@@ -163,82 +182,113 @@ void discrete_process::step()
 {
     const graph& g = *config_.network;
 
-    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
-        for (node_id v = static_cast<node_id>(begin); v < end; ++v)
-            load_over_speed_[v] =
-                static_cast<double>(load_[v]) / config_.speeds.speed(v);
-    });
+    // x/s == x exactly for uniform speeds; skip the division.
+    if (config_.speeds.is_uniform()) {
+        exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+            for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+                load_over_speed_[v] = static_cast<double>(load_[v]);
+        });
+    } else {
+        exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+            for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+                load_over_speed_[v] =
+                    static_cast<double>(load_[v]) / config_.speeds.speed(v);
+        });
+    }
 
-    // Yhat(t) = C(x^D(t), y^D(t-1))  — the continuous scheduled load.
+    // Yhat(t) = C(x^D(t), y^D(t-1))  — the continuous scheduled load. The
+    // integer overload casts previous flows in place (exact), so no double
+    // copy of the flow state is ever materialized.
     scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
-                    load_over_speed_, previous_flows_, scheduled_, *exec_);
+                    beta_state_.next(), load_over_speed_,
+                    std::span<const std::int64_t>(previous_flows_int_),
+                    scheduled_, *exec_);
 
-    round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_);
+    // Randomized rounding runs the owner pass alone — the mirror is folded
+    // into the apply sweep below, which derives every incoming flow from
+    // its owner; the other roundings mirror inside round_flows (floor and
+    // nearest in the same fused sweep) and the apply derivation is then a
+    // no-op re-read of the mirrored value.
+    if (rounding_ == rounding_kind::randomized)
+        round_flows_randomized_owner(g, scheduled_, seed_, round_, flows_,
+                                     *exec_);
+    else
+        round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_);
 
     if (policy_ == negative_load_policy::prevent) {
-        // Clip each node's outgoing tokens to its available load, then
-        // restore antisymmetry on the clipped edges.
-        std::int64_t clipped_total = 0;
-        for (node_id v = 0; v < g.num_nodes(); ++v) {
-            std::int64_t positive_out = 0;
-            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h)
-                if (flows_[h] > 0) positive_out += flows_[h];
-            const std::int64_t available = std::max<std::int64_t>(load_[v], 0);
-            if (positive_out <= available) continue;
-            std::int64_t remaining = available;
-            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
-                if (flows_[h] <= 0) continue;
-                const std::int64_t keep = std::min(flows_[h], remaining);
-                clipped_total += flows_[h] - keep;
-                flows_[h] = keep;
-                remaining -= keep;
-            }
-        }
-        clipped_tokens_ += clipped_total;
-        if (clipped_total > 0) {
-            exec_->parallel_for(
-                g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
-                    for (half_edge_id h = begin; h < end; ++h)
-                        if (scheduled_[h] < 0.0) flows_[h] = -flows_[g.twin(h)];
-                });
-        }
+        // Detect and clip over-committed nodes in parallel: each node owns
+        // its outgoing (positive-scheduled) half-edges, so the clip writes
+        // are disjoint, and the apply sweep below re-derives every incoming
+        // flow from its (possibly clipped) owner — no antisymmetry-repair
+        // rescan is needed at all.
+        const std::int64_t clipped = exec_->parallel_reduce(
+            static_cast<std::int64_t>(g.num_nodes()), std::int64_t{0},
+            [&](std::int64_t begin, std::int64_t end) {
+                std::int64_t tokens = 0;
+                for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+                    std::int64_t positive_out = 0;
+                    for (half_edge_id h = g.half_edge_begin(v);
+                         h < g.half_edge_end(v); ++h)
+                        if (flows_[h] > 0) positive_out += flows_[h];
+                    const std::int64_t available =
+                        std::max<std::int64_t>(load_[v], 0);
+                    if (positive_out <= available) continue;
+                    std::int64_t remaining = available;
+                    for (half_edge_id h = g.half_edge_begin(v);
+                         h < g.half_edge_end(v); ++h) {
+                        if (flows_[h] <= 0) continue;
+                        const std::int64_t keep = std::min(flows_[h], remaining);
+                        tokens += flows_[h] - keep;
+                        flows_[h] = keep;
+                        remaining -= keep;
+                    }
+                }
+                return tokens;
+            },
+            [](std::int64_t acc, std::int64_t part) { return acc + part; });
+        clipped_tokens_ += clipped;
     }
 
     // Apply; track the transient state x-breve (all sends out, nothing
-    // received yet). Reuse load_over_speed_ as scratch.
-    std::vector<double>& transient = load_over_speed_;
-    exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
-        for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
-            std::int64_t net_out = 0;
-            std::int64_t positive_out = 0;
-            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
-                const std::int64_t f = flows_[h];
-                net_out += f;
-                if (f > 0) positive_out += f;
+    // received yet). Each half-edge's final flow is its owner's value —
+    // negated on the incoming side — which folds the mirror into the sweep
+    // (flows_ is read-only here, so the twin gathers race with nothing);
+    // the per-round result lands directly in previous_flows_int_, and the
+    // negative-load min-scan is fused in as well.
+    const load_minima minima = exec_->parallel_reduce(
+        g.num_nodes(), load_minima{},
+        [&](std::int64_t begin, std::int64_t end) {
+            load_minima local;
+            for (node_id v = static_cast<node_id>(begin); v < end; ++v) {
+                std::int64_t net_out = 0;
+                std::int64_t positive_out = 0;
+                for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v);
+                     ++h) {
+                    const std::int64_t f = scheduled_[h] < 0.0
+                                               ? -flows_[g.twin(h)]
+                                               : flows_[h];
+                    previous_flows_int_[h] = f;
+                    net_out += f;
+                    if (f > 0) positive_out += f;
+                }
+                local.transient = std::min(
+                    local.transient, static_cast<double>(load_[v] - positive_out));
+                load_[v] -= net_out;
+                local.end_of_round = std::min(local.end_of_round,
+                                              static_cast<double>(load_[v]));
             }
-            transient[v] = static_cast<double>(load_[v] - positive_out);
-            load_[v] -= net_out;
-        }
-    });
+            return local;
+        },
+        combine_minima);
 
-    double min_end = load_.empty() ? 0.0 : static_cast<double>(load_.front());
-    double min_transient = transient.empty() ? 0.0 : transient.front();
-    for (node_id v = 0; v < g.num_nodes(); ++v) {
-        min_end = std::min(min_end, static_cast<double>(load_[v]));
-        min_transient = std::min(min_transient, transient[v]);
-    }
+    const double min_end = load_.empty() ? 0.0 : minima.end_of_round;
+    const double min_transient = load_.empty() ? 0.0 : minima.transient;
     negative_.min_end_of_round_load =
         std::min(negative_.min_end_of_round_load, min_end);
     negative_.min_transient_load =
         std::min(negative_.min_transient_load, min_transient);
     if (min_end < 0.0) ++negative_.rounds_with_negative_end_load;
     if (min_transient < 0.0) ++negative_.rounds_with_negative_transient;
-
-    std::swap(previous_flows_int_, flows_);
-    exec_->parallel_for(g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
-        for (half_edge_id h = begin; h < end; ++h)
-            previous_flows_[h] = static_cast<double>(previous_flows_int_[h]);
-    });
 
     ++round_;
     ++rounds_in_scheme_;

@@ -94,6 +94,7 @@ private:
     std::vector<double> previous_flows_;
     std::int64_t round_ = 0;
     std::int64_t rounds_in_scheme_ = 0;
+    scheme_beta_state beta_state_; // O(1) per-round relaxation factor
     double initial_total_ = 0.0;
     double external_total_ = 0.0;
     negative_load_stats negative_;
@@ -158,9 +159,9 @@ private:
     std::vector<double> scheduled_;
     std::vector<std::int64_t> flows_;
     std::vector<std::int64_t> previous_flows_int_;
-    std::vector<double> previous_flows_; // double copy fed back into the rule
     std::int64_t round_ = 0;
     std::int64_t rounds_in_scheme_ = 0;
+    scheme_beta_state beta_state_; // O(1) per-round relaxation factor
     std::int64_t initial_total_ = 0;
     std::int64_t external_total_ = 0;
     std::int64_t clipped_tokens_ = 0;

@@ -1,7 +1,9 @@
 #include "core/rounding.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "util/rng.hpp"
 
@@ -20,11 +22,117 @@ std::string_view to_string(rounding_kind kind) noexcept
 
 namespace {
 
+/// Cold path of the inverse-CDF walk: an exact-zero target starts
+/// non-positive before any subtraction and, like the early-exit walk,
+/// lands on the first fractional edge (one exists whenever the caller's
+/// excess is positive). Out of line so the hot walk stays compact.
+[[gnu::noinline]] void credit_first_fractional(std::span<const double> fractions,
+                                               std::span<std::int64_t> flows_out,
+                                               half_edge_id begin)
+{
+    std::int32_t first_fractional = 0;
+    while (fractions[first_fractional] <= 0.0) ++first_fractional;
+    flows_out[begin + first_fractional] += 1;
+}
+
 /// The paper's randomized rounding for one node's outgoing flows.
+///
+/// The scratch span `fractions` (at least degree(v) long) lets the
+/// inverse-CDF walk run over a cached slice-aligned array instead of
+/// rescanning the adjacency slice per token. The walk itself is
+/// branch-free: the remainders target - f_0 - ... - f_j decrease strictly,
+/// so the first non-positive remainder — the edge the original early-exit
+/// walk stopped on — is found by counting positive remainders, with the
+/// subtractions performed in the exact order (and thus rounding) of the
+/// original loop. Draw sequence and results are bit-identical; only the
+/// unpredictable branches are gone.
 void round_node_randomized(const graph& g, node_id v,
                            std::span<const double> scheduled,
                            std::uint64_t seed, std::int64_t round,
-                           std::span<std::int64_t> flows_out)
+                           std::span<std::int64_t> flows_out,
+                           std::span<double> fractions)
+{
+    const half_edge_id begin = g.half_edge_begin(v);
+    const half_edge_id end = g.half_edge_end(v);
+    const auto degree = static_cast<std::int32_t>(end - begin);
+
+    // Pass 1: floor all outgoing flows (zeroing the rest), accumulate the
+    // excess mass r, and cache the fractional parts slice-aligned. The
+    // gate multiply keeps the loop free of data-dependent branches:
+    // x * 1.0 == x and (nonnegative) * 0.0 == +0.0 exactly, so outgoing
+    // edges contribute bit-identically to the original guarded sum and the
+    // rest contribute an exact 0.0.
+    double excess = 0.0;
+    std::int32_t last_fractional = 0;
+    for (std::int32_t j = 0; j < degree; ++j) {
+        const double yhat = scheduled[begin + j];
+        const double gate = yhat > 0.0 ? 1.0 : 0.0;
+        const double magnitude = std::fabs(yhat);
+        const double floored = std::floor(magnitude);
+        flows_out[begin + j] = static_cast<std::int64_t>(floored * gate);
+        const double fraction = (magnitude - floored) * gate;
+        excess += fraction;
+        fractions[j] = fraction;
+        last_fractional = fraction > 0.0 ? j : last_fractional;
+    }
+    if (excess <= 0.0) return;
+
+    // Pass 2: distribute ceil(r) candidate tokens. Each leaves the node
+    // with probability r/ceil(r); a leaving token picks the outgoing edge
+    // h with probability {Yhat_h}/r.
+    const double token_count_real = std::ceil(excess);
+    const auto token_count = static_cast<std::int64_t>(token_count_real);
+    const double send_probability = excess / token_count_real;
+
+    auto rng = stream_for(seed, static_cast<std::uint64_t>(v),
+                          static_cast<std::uint64_t>(round));
+    for (std::int64_t token = 0; token < token_count; ++token) {
+        if (!rng.next_bernoulli(send_probability)) continue;
+        // Branch-free inverse-CDF walk: the remainders decrease only at
+        // fractional slots (subtracting the cached 0.0 elsewhere is exact),
+        // so the slot where the remainder first turns non-positive — the
+        // edge the early-exit walk stopped on — is the count of positive
+        // remainders. `target` may stay positive through the whole slice
+        // due to floating-point slack, landing on the last fractional edge,
+        // preserving totals.
+        double target = rng.next_double() * excess;
+        if (target <= 0.0) [[unlikely]] {
+            credit_first_fractional(fractions, flows_out, begin);
+            continue;
+        }
+        std::int32_t chosen = 0;
+        for (std::int32_t j = 0; j < degree; ++j) {
+            target -= fractions[j];
+            chosen += target > 0.0 ? 1 : 0;
+        }
+        flows_out[begin + (chosen < degree ? chosen : last_fractional)] += 1;
+    }
+}
+
+void round_node_bernoulli(const graph& g, node_id v,
+                          std::span<const double> scheduled, std::uint64_t seed,
+                          std::int64_t round, std::span<std::int64_t> flows_out)
+{
+    auto rng = stream_for(seed, static_cast<std::uint64_t>(v),
+                          static_cast<std::uint64_t>(round));
+    for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
+        const double yhat = scheduled[h];
+        if (yhat <= 0.0) {
+            flows_out[h] = 0;
+            continue;
+        }
+        const double floored = std::floor(yhat);
+        const double fraction = yhat - floored;
+        flows_out[h] = static_cast<std::int64_t>(floored) +
+                       (rng.next_bernoulli(fraction) ? 1 : 0);
+    }
+}
+
+/// Pre-canonical helpers, kept verbatim for round_flows_reference.
+void round_node_randomized_reference(const graph& g, node_id v,
+                                     std::span<const double> scheduled,
+                                     std::uint64_t seed, std::int64_t round,
+                                     std::span<std::int64_t> flows_out)
 {
     const half_edge_id begin = g.half_edge_begin(v);
     const half_edge_id end = g.half_edge_end(v);
@@ -70,28 +178,99 @@ void round_node_randomized(const graph& g, node_id v,
     }
 }
 
-void round_node_bernoulli(const graph& g, node_id v,
-                          std::span<const double> scheduled, std::uint64_t seed,
-                          std::int64_t round, std::span<std::int64_t> flows_out)
-{
-    auto rng = stream_for(seed, static_cast<std::uint64_t>(v),
-                          static_cast<std::uint64_t>(round));
-    for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v); ++h) {
-        const double yhat = scheduled[h];
-        if (yhat <= 0.0) continue;
-        const double floored = std::floor(yhat);
-        const double fraction = yhat - floored;
-        flows_out[h] = static_cast<std::int64_t>(floored) +
-                       (rng.next_bernoulli(fraction) ? 1 : 0);
-    }
-}
-
 } // namespace
 
 void round_flows(const graph& g, rounding_kind kind,
                  std::span<const double> scheduled, std::uint64_t seed,
                  std::int64_t round, std::span<std::int64_t> flows_out,
                  executor& exec)
+{
+    if (scheduled.size() != static_cast<std::size_t>(g.num_half_edges()) ||
+        flows_out.size() != scheduled.size())
+        throw std::invalid_argument("round_flows: size mismatch");
+
+    // Deterministic roundings need no owner/mirror split: the negative side
+    // is the exact negation of rounding the positive side (floor and
+    // llround are odd under negating their nonzero argument, and the
+    // scheduled flows are antisymmetric), so one fused branch-free sweep
+    // writes every half-edge exactly once.
+    if (kind == rounding_kind::floor || kind == rounding_kind::nearest) {
+        exec.parallel_for(
+            g.num_half_edges(), [&](std::int64_t begin, std::int64_t end) {
+                if (kind == rounding_kind::floor) {
+                    for (half_edge_id h = begin; h < end; ++h) {
+                        const double yhat = scheduled[h];
+                        const auto magnitude = static_cast<std::int64_t>(
+                            std::floor(std::fabs(yhat)));
+                        flows_out[h] = yhat > 0.0 ? magnitude : -magnitude;
+                    }
+                } else {
+                    for (half_edge_id h = begin; h < end; ++h) {
+                        const double yhat = scheduled[h];
+                        const std::int64_t magnitude = std::llround(std::fabs(yhat));
+                        flows_out[h] = yhat > 0.0 ? magnitude : -magnitude;
+                    }
+                }
+            });
+        return;
+    }
+
+    // Randomized schemes: the owner (positive-scheduled) side's RNG decides,
+    // so owners write their outgoing half-edges first ...
+    if (kind == rounding_kind::randomized) {
+        round_flows_randomized_owner(g, scheduled, seed, round, flows_out, exec);
+    } else {
+        exec.parallel_for(
+            g.num_nodes(), [&](std::int64_t chunk_begin, std::int64_t chunk_end) {
+                for (node_id v = static_cast<node_id>(chunk_begin); v < chunk_end;
+                     ++v)
+                    round_node_bernoulli(g, v, scheduled, seed, round, flows_out);
+            });
+    }
+
+    // ... and each canonical edge then mirrors its owner's result onto the
+    // negative side. Each half-edge belongs to exactly one edge, so the
+    // edge-parallel writes are disjoint. Both sides are rewritten
+    // unconditionally (select, no data-dependent branch): the owner side
+    // keeps its value, the other side gets the negation, and zero-scheduled
+    // edges rewrite the 0 both owner passes produced.
+    const auto canonical = g.canonical_half_edges();
+    exec.parallel_for(g.num_edges(), [&](std::int64_t begin, std::int64_t end) {
+        for (std::int64_t e = begin; e < end; ++e) {
+            const half_edge_id h = canonical[e];
+            const half_edge_id tw = g.twin(h);
+            const std::int64_t forward = flows_out[h];
+            const std::int64_t backward = flows_out[tw];
+            const bool owner_is_canonical = scheduled[h] > 0.0;
+            flows_out[h] = owner_is_canonical ? forward : -backward;
+            flows_out[tw] = owner_is_canonical ? -forward : backward;
+        }
+    });
+}
+
+void round_flows_randomized_owner(const graph& g,
+                                  std::span<const double> scheduled,
+                                  std::uint64_t seed, std::int64_t round,
+                                  std::span<std::int64_t> flows_out,
+                                  executor& exec)
+{
+    if (scheduled.size() != static_cast<std::size_t>(g.num_half_edges()) ||
+        flows_out.size() != scheduled.size())
+        throw std::invalid_argument("round_flows_randomized_owner: size mismatch");
+
+    exec.parallel_for(g.num_nodes(), [&](std::int64_t chunk_begin,
+                                         std::int64_t chunk_end) {
+        std::vector<double> fractions(static_cast<std::size_t>(g.max_degree()));
+        for (node_id v = static_cast<node_id>(chunk_begin); v < chunk_end; ++v)
+            round_node_randomized(g, v, scheduled, seed, round, flows_out,
+                                  fractions);
+    });
+}
+
+void round_flows_reference(const graph& g, rounding_kind kind,
+                           std::span<const double> scheduled, std::uint64_t seed,
+                           std::int64_t round, std::span<std::int64_t> flows_out,
+                           executor& exec)
 {
     if (scheduled.size() != static_cast<std::size_t>(g.num_half_edges()) ||
         flows_out.size() != scheduled.size())
@@ -106,7 +285,8 @@ void round_flows(const graph& g, rounding_kind kind,
 
             switch (kind) {
             case rounding_kind::randomized:
-                round_node_randomized(g, v, scheduled, seed, round, flows_out);
+                round_node_randomized_reference(g, v, scheduled, seed, round,
+                                                flows_out);
                 break;
             case rounding_kind::floor:
                 for (half_edge_id h = begin; h < end; ++h)

@@ -42,10 +42,35 @@ std::string_view to_string(rounding_kind kind) noexcept;
 /// `scheduled` and `flows_out` are per-half-edge; `scheduled` must be
 /// antisymmetric. `seed`/`round` select the deterministic random streams
 /// (unused by the deterministic schemes).
+///
+/// floor/nearest round both directions of every edge in one node-parallel
+/// sweep (the negative side is the exact negation of the positive side's
+/// rounding, so no mirror pass is needed); the randomized schemes keep the
+/// owner-side pass — the owner's RNG decides — and mirror once per
+/// canonical edge instead of rescanning all half-edges.
 void round_flows(const graph& g, rounding_kind kind,
                  std::span<const double> scheduled, std::uint64_t seed,
                  std::int64_t round, std::span<std::int64_t> flows_out,
                  executor& exec);
+
+/// Engine fast path: the randomized owner pass alone, without the mirror
+/// sweep — only owner (positive-scheduled) sides are written, zeros
+/// elsewhere; the discrete engine's apply sweep derives every negative
+/// side as its owner's negation. Owner-side values are bit-identical to
+/// round_flows(randomized).
+void round_flows_randomized_owner(const graph& g,
+                                  std::span<const double> scheduled,
+                                  std::uint64_t seed, std::int64_t round,
+                                  std::span<std::int64_t> flows_out,
+                                  executor& exec);
+
+/// The pre-canonical implementation (owner pass over all half-edges plus a
+/// full mirror sweep). Kept as the bitwise oracle for the golden
+/// determinism suite and the kernel microbenchmarks.
+void round_flows_reference(const graph& g, rounding_kind kind,
+                           std::span<const double> scheduled, std::uint64_t seed,
+                           std::int64_t round, std::span<std::int64_t> flows_out,
+                           executor& exec);
 
 } // namespace dlb
 

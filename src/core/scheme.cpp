@@ -22,30 +22,27 @@ void validate_scheme(scheme_params scheme)
 
 double scheme_beta_for_round(scheme_params scheme, std::int64_t rounds_in_scheme)
 {
-    switch (scheme.kind) {
-    case scheme_kind::fos:
-        return 1.0;
-    case scheme_kind::sos:
-        return rounds_in_scheme == 0 ? 1.0 : scheme.beta;
-    case scheme_kind::chebyshev: {
-        if (rounds_in_scheme == 0) return 1.0; // omega_1 = 1: plain FOS round
-        const double lambda_sq = scheme.lambda * scheme.lambda;
-        double omega = 1.0;
-        // omega_{t+1} = 1/(1 - lambda^2/4 * omega_t); omega_2 uses /2.
-        omega = 1.0 / (1.0 - lambda_sq / 2.0);
-        for (std::int64_t t = 2; t <= rounds_in_scheme; ++t)
-            omega = 1.0 / (1.0 - 0.25 * lambda_sq * omega);
-        return omega;
-    }
-    }
-    return 1.0;
+    // O(1) for FOS/SOS; only Chebyshev needs the recurrence replayed
+    // (per-round callers like contribution_rows rely on the fast paths).
+    if (scheme.kind != scheme_kind::chebyshev)
+        return scheme.kind == scheme_kind::fos || rounds_in_scheme == 0
+                   ? 1.0
+                   : scheme.beta;
+    scheme_beta_state state(scheme);
+    double beta = 1.0;
+    for (std::int64_t t = 0; t <= rounds_in_scheme; ++t) beta = state.next();
+    return beta;
 }
 
-void scheduled_flows(const graph& g, std::span<const double> alpha,
-                     scheme_params scheme, std::int64_t rounds_in_scheme,
-                     std::span<const double> load_over_speed,
-                     std::span<const double> previous_flows,
-                     std::span<double> flows_out, executor& exec)
+namespace {
+
+/// Shared shape checks for the scheduled_flows overloads; returns whether
+/// this round applies the second-order rule (needing previous flows).
+bool validate_flows(const graph& g, std::span<const double> alpha,
+                    scheme_params scheme, std::int64_t rounds_in_scheme,
+                    std::span<const double> load_over_speed,
+                    std::size_t previous_flows_size,
+                    std::span<double> flows_out)
 {
     if (alpha.size() != static_cast<std::size_t>(g.num_half_edges()) ||
         flows_out.size() != alpha.size())
@@ -55,8 +52,121 @@ void scheduled_flows(const graph& g, std::span<const double> alpha,
 
     const bool second_order =
         scheme.kind != scheme_kind::fos && rounds_in_scheme > 0;
-    if (second_order && previous_flows.size() != alpha.size())
+    if (second_order && previous_flows_size != alpha.size())
         throw std::invalid_argument("scheduled_flows: previous flows missing");
+    return second_order;
+}
+
+} // namespace
+
+namespace {
+
+// Each undirected edge is evaluated once from its canonical half-edge
+// (tail < head, found by scanning each node's slice for larger-id
+// neighbors — cheaper than streaming the canonical index list through
+// the cache) and mirrored by negation. For a nonzero flow the mirror is
+// bitwise what the two-sided evaluation would produce: alpha is
+// symmetric, the twin's previous flow and gradient are exact negations,
+// and IEEE operations commute with jointly negating their inputs. Zero
+// flows are the one asymmetric corner (x - x is +0.0 in both
+// directions, and a sum cancelling to zero is +0.0 regardless of sign),
+// so that rare case re-evaluates the twin's own expression instead.
+//
+// `Prev` is indexable by half-edge and yields double: either the double
+// span or the discrete engine's integer flows cast in place (exact).
+template <class Prev>
+void canonical_flows(const graph& g, std::span<const double> alpha,
+                     bool second_order, double beta,
+                     std::span<const double> load_over_speed,
+                     const Prev previous_flows, std::span<double> flows_out,
+                     executor& exec)
+{
+    exec.parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+        for (node_id u = static_cast<node_id>(begin); u < end; ++u) {
+            const double xu = load_over_speed[u];
+            const half_edge_id he_begin = g.half_edge_begin(u);
+            const half_edge_id he_end = g.half_edge_end(u);
+            if (second_order) {
+                for (half_edge_id h = he_begin; h < he_end; ++h) {
+                    const node_id v = g.head(h);
+                    if (v < u) continue; // the twin writes this edge
+                    const half_edge_id tw = g.twin(h);
+                    const double xv = load_over_speed[v];
+                    const double f =
+                        (beta - 1.0) * static_cast<double>(previous_flows[h]) +
+                        beta * alpha[h] * (xu - xv);
+                    flows_out[h] = f;
+                    flows_out[tw] =
+                        f != 0.0
+                            ? -f
+                            : (beta - 1.0) *
+                                      static_cast<double>(previous_flows[tw]) +
+                                  beta * alpha[tw] * (xv - xu);
+                }
+            } else {
+                for (half_edge_id h = he_begin; h < he_end; ++h) {
+                    const node_id v = g.head(h);
+                    if (v < u) continue;
+                    const half_edge_id tw = g.twin(h);
+                    const double xv = load_over_speed[v];
+                    const double f = alpha[h] * (xu - xv);
+                    flows_out[h] = f;
+                    flows_out[tw] = f != 0.0 ? -f : alpha[tw] * (xv - xu);
+                }
+            }
+        }
+    });
+}
+
+} // namespace
+
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     double beta, std::span<const double> load_over_speed,
+                     std::span<const double> previous_flows,
+                     std::span<double> flows_out, executor& exec)
+{
+    const bool second_order =
+        validate_flows(g, alpha, scheme, rounds_in_scheme, load_over_speed,
+                       previous_flows.size(), flows_out);
+    canonical_flows(g, alpha, second_order, beta, load_over_speed,
+                    previous_flows, flows_out, exec);
+}
+
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     double beta, std::span<const double> load_over_speed,
+                     std::span<const std::int64_t> previous_flows,
+                     std::span<double> flows_out, executor& exec)
+{
+    const bool second_order =
+        validate_flows(g, alpha, scheme, rounds_in_scheme, load_over_speed,
+                       previous_flows.size(), flows_out);
+    canonical_flows(g, alpha, second_order, beta, load_over_speed,
+                    previous_flows, flows_out, exec);
+}
+
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     std::span<const double> load_over_speed,
+                     std::span<const double> previous_flows,
+                     std::span<double> flows_out, executor& exec)
+{
+    scheduled_flows(g, alpha, scheme, rounds_in_scheme,
+                    scheme_beta_for_round(scheme, rounds_in_scheme),
+                    load_over_speed, previous_flows, flows_out, exec);
+}
+
+void scheduled_flows_reference(const graph& g, std::span<const double> alpha,
+                               scheme_params scheme,
+                               std::int64_t rounds_in_scheme,
+                               std::span<const double> load_over_speed,
+                               std::span<const double> previous_flows,
+                               std::span<double> flows_out, executor& exec)
+{
+    const bool second_order =
+        validate_flows(g, alpha, scheme, rounds_in_scheme, load_over_speed,
+                       previous_flows.size(), flows_out);
 
     const double beta = scheme_beta_for_round(scheme, rounds_in_scheme);
 

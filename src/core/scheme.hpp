@@ -57,7 +57,57 @@ inline scheme_params chebyshev_scheme(double lambda)
 /// The effective relaxation factor the scheme applies in round
 /// `rounds_in_scheme` (0-based). FOS: 1. SOS: beta (after the FOS warm-up
 /// round). Chebyshev: omega_{t+1} from the recurrence above.
+///
+/// Pure and stateless, which makes a single call O(rounds_in_scheme) for
+/// Chebyshev; long-running engines carry the recurrence incrementally with
+/// scheme_beta_state instead of calling this every round (a T-round run
+/// through this function is O(T^2)).
 double scheme_beta_for_round(scheme_params scheme, std::int64_t rounds_in_scheme);
+
+/// Incremental form of scheme_beta_for_round: next() returns the factor for
+/// the current round in O(1) and advances the recurrence, so a T-round run
+/// costs O(T) total. next() called t times after reset(scheme) produces
+/// exactly scheme_beta_for_round(scheme, 0..t-1), bit for bit. Engines
+/// reset() when a hybrid switch installs a new scheme, matching the SOS
+/// warm-up restart.
+class scheme_beta_state {
+public:
+    explicit scheme_beta_state(scheme_params scheme = {}) { reset(scheme); }
+
+    void reset(scheme_params scheme)
+    {
+        scheme_ = scheme;
+        round_ = 0;
+        omega_ = 1.0;
+    }
+
+    /// The factor for the current round; steps to the next round.
+    double next()
+    {
+        const std::int64_t t = round_++;
+        switch (scheme_.kind) {
+        case scheme_kind::fos:
+            return 1.0;
+        case scheme_kind::sos:
+            return t == 0 ? 1.0 : scheme_.beta;
+        case scheme_kind::chebyshev: {
+            if (t == 0) return 1.0; // omega_1 = 1: plain FOS round
+            const double lambda_sq = scheme_.lambda * scheme_.lambda;
+            omega_ = t == 1 ? 1.0 / (1.0 - lambda_sq / 2.0)
+                            : 1.0 / (1.0 - 0.25 * lambda_sq * omega_);
+            return omega_;
+        }
+        }
+        return 1.0;
+    }
+
+    std::int64_t rounds_in_scheme() const noexcept { return round_; }
+
+private:
+    scheme_params scheme_;
+    std::int64_t round_ = 0;
+    double omega_ = 1.0; // last Chebyshev omega returned (valid for t >= 1)
+};
 
 /// Computes the continuous scheduled flows Yhat(t) = C(x(t), y(t-1)) for
 /// every half-edge.
@@ -66,11 +116,48 @@ double scheme_beta_for_round(scheme_params scheme, std::int64_t rounds_in_scheme
 /// rounds since this scheme became active: SOS uses the FOS rule when it is
 /// zero (paper: "The only exception is the very first round in which FOS is
 /// applied"). `previous_flows` may be empty for FOS.
+///
+/// The kernel is edge-canonical: each undirected edge's flow is computed
+/// once from its canonical half-edge (tail < head) and mirrored to the twin
+/// by negation, which is bitwise-identical to evaluating the formula on
+/// both sides because alpha is symmetric and `previous_flows` is
+/// antisymmetric. All of `previous_flows` must be valid: the zero-flow
+/// corner re-evaluates the twin's own expression, reading its entry.
 void scheduled_flows(const graph& g, std::span<const double> alpha,
                      scheme_params scheme, std::int64_t rounds_in_scheme,
                      std::span<const double> load_over_speed,
                      std::span<const double> previous_flows,
                      std::span<double> flows_out, executor& exec);
+
+/// Overload with the relaxation factor supplied by the caller (engines pass
+/// the O(1) scheme_beta_state value instead of re-deriving it per round).
+/// `beta` must equal scheme_beta_for_round(scheme, rounds_in_scheme).
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     double beta, std::span<const double> load_over_speed,
+                     std::span<const double> previous_flows,
+                     std::span<double> flows_out, executor& exec);
+
+/// Overload for integer previous flows (the discrete engine): entries are
+/// cast in place of materializing a double copy, which is exact — token
+/// counts stay far below 2^53 — and saves a full per-half-edge conversion
+/// sweep per round.
+void scheduled_flows(const graph& g, std::span<const double> alpha,
+                     scheme_params scheme, std::int64_t rounds_in_scheme,
+                     double beta, std::span<const double> load_over_speed,
+                     std::span<const std::int64_t> previous_flows,
+                     std::span<double> flows_out, executor& exec);
+
+/// The pre-canonical two-sided kernel: evaluates the flow rule
+/// independently on every half-edge. Kept as the bitwise oracle for the
+/// golden determinism suite and the kernel microbenchmarks; reads all of
+/// `previous_flows`, not just the canonical entries.
+void scheduled_flows_reference(const graph& g, std::span<const double> alpha,
+                               scheme_params scheme,
+                               std::int64_t rounds_in_scheme,
+                               std::span<const double> load_over_speed,
+                               std::span<const double> previous_flows,
+                               std::span<double> flows_out, executor& exec);
 
 /// Validates scheme parameters; throws std::invalid_argument on bad beta.
 void validate_scheme(scheme_params scheme);

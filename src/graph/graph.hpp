@@ -6,6 +6,13 @@
 // engine store the antisymmetric flow state y with the invariant
 // y[h] == -y[twin(h)] enforced structurally (flows are computed once per
 // canonical half-edge u < v and mirrored).
+//
+// The *canonical-edge view* materializes that convention: the half-edge
+// (u -> v) with u < v is the edge's canonical representative, and
+// canonical_half_edges() lists all |E| of them in ascending half-edge
+// order. Edge-parallel kernels iterate this list, read tail(h)/head(h),
+// and write flows to h and twin(h) — each half-edge is owned by exactly
+// one canonical edge, so chunked parallel writes never race.
 #ifndef DLB_GRAPH_GRAPH_HPP
 #define DLB_GRAPH_GRAPH_HPP
 
@@ -77,8 +84,25 @@ public:
     /// Head (target node) of a half-edge.
     node_id head(half_edge_id h) const noexcept { return adjacency_[h]; }
 
+    /// Tail (source node) of a half-edge: the node whose slice contains h.
+    node_id tail(half_edge_id h) const noexcept { return tails_[h]; }
+
     /// The reverse half-edge of h.
     half_edge_id twin(half_edge_id h) const noexcept { return twins_[h]; }
+
+    /// True when h is its edge's canonical representative (tail < head).
+    bool is_canonical(half_edge_id h) const noexcept
+    {
+        return tails_[h] < adjacency_[h];
+    }
+
+    /// The canonical half-edge (tail < head) of every undirected edge, in
+    /// ascending half-edge order; size num_edges(). canonical_half_edges()[e]
+    /// is edge e's representative for per-edge state of size num_edges().
+    std::span<const half_edge_id> canonical_half_edges() const noexcept
+    {
+        return canonical_;
+    }
 
     /// True when {u, v} is an edge. O(log degree(u)).
     bool has_edge(node_id u, node_id v) const noexcept;
@@ -100,7 +124,9 @@ private:
     std::int32_t min_degree_ = 0;
     std::vector<half_edge_id> offsets_; // size n+1
     std::vector<node_id> adjacency_;    // size 2|E|, per-node ascending
+    std::vector<node_id> tails_;        // size 2|E|, source node per half-edge
     std::vector<half_edge_id> twins_;   // size 2|E|
+    std::vector<half_edge_id> canonical_; // size |E|, ascending
 
     void build_from_sorted_pairs(node_id num_nodes, std::vector<edge>&& directed);
 };

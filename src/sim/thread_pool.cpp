@@ -35,12 +35,51 @@ void thread_pool::parallel_for(
         body(0, count);
         return;
     }
+    // Fine-grained indices: keep a minimum per-chunk grain so the atomic
+    // pull and body dispatch amortize over real work.
+    run_distributed(count, /*grain=*/512, body);
+}
 
+void thread_pool::parallel_tasks(
+    std::int64_t count, const std::function<void(std::int64_t, std::int64_t)>& body)
+{
+    if (count <= 0) return;
+
+    // Coarse tasks: distribute whenever more than one worker could help,
+    // one task per chunk.
+    if (count <= 1 || workers_.size() <= 1) {
+        body(0, count);
+        return;
+    }
+    run_distributed(count, /*grain=*/1, body);
+}
+
+void thread_pool::run_distributed(
+    std::int64_t count, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& body)
+{
+    const auto workers = static_cast<std::int64_t>(workers_.size());
+    // Several chunks per worker, pulled dynamically: contiguous
+    // one-chunk-per-worker splitting strands all the work of a localized
+    // region on one worker. The chunk count stays between one-per-worker
+    // (so mid-size ranges still feed every worker) and 8-per-worker with
+    // at least `grain` indices each; a single-chunk job is cheaper inline
+    // than a pool rendezvous.
+    const std::int64_t target = std::clamp<std::int64_t>(
+        count / grain, std::min<std::int64_t>(workers, count), workers * 8);
+    const std::int64_t chunk = (count + target - 1) / target;
+    const std::int64_t num_chunks = (count + chunk - 1) / chunk;
+    if (num_chunks <= 1) {
+        body(0, count);
+        return;
+    }
     {
         std::lock_guard lock(mutex_);
         job_.body = &body;
         job_.count = count;
-        job_.chunk = (count + workers - 1) / workers;
+        job_.chunk = chunk;
+        job_.num_chunks = num_chunks;
+        next_chunk_.store(0, std::memory_order_relaxed);
         ++generation_;
         job_.generation = generation_;
         remaining_ = static_cast<unsigned>(workers_.size());
@@ -52,7 +91,7 @@ void thread_pool::parallel_for(
     job_.body = nullptr;
 }
 
-void thread_pool::worker_loop(unsigned index)
+void thread_pool::worker_loop(unsigned)
 {
     std::uint64_t seen_generation = 0;
     for (;;) {
@@ -68,11 +107,15 @@ void thread_pool::worker_loop(unsigned index)
             seen_generation = local.generation;
         }
 
-        const std::int64_t begin =
-            std::min<std::int64_t>(local.count, index * local.chunk);
-        const std::int64_t end =
-            std::min<std::int64_t>(local.count, begin + local.chunk);
-        if (begin < end) (*local.body)(begin, end);
+        for (;;) {
+            const std::int64_t c =
+                next_chunk_.fetch_add(1, std::memory_order_relaxed);
+            if (c >= local.num_chunks) break;
+            const std::int64_t begin = c * local.chunk;
+            const std::int64_t end =
+                std::min<std::int64_t>(local.count, begin + local.chunk);
+            (*local.body)(begin, end);
+        }
 
         {
             std::lock_guard lock(mutex_);

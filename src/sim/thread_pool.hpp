@@ -1,13 +1,24 @@
 // Thread-pool executor: the project's stand-in for the paper's OpenMP
 // parallel simulator.
 //
-// Workers are long-lived; parallel_for splits the index range into
-// contiguous chunks (one per worker) and blocks until all complete.
+// Workers are long-lived; parallel_for splits the index range into several
+// contiguous chunks per worker, which the workers pull from a shared
+// counter, and blocks until all complete. Dynamic pulling matters for
+// localized workloads (a point load activates one region of the graph —
+// with one chunk per worker, a single worker would own all the work).
 // Determinism is preserved because all engine randomness is derived from
-// (seed, node, round) — chunking never changes results.
+// (seed, node, round) — chunking never changes results, and
+// executor::parallel_reduce combines its fixed-width chunk partials in
+// index order, so reductions are bitwise-identical for any worker count.
+//
+// parallel_for runs small ranges inline (a pool round-trip costs more than
+// a few thousand loop iterations); parallel_tasks skips that heuristic
+// because each index is a coarse task (a reduce chunk, a campaign
+// scenario) that is worth distributing even when there are only a few.
 #ifndef DLB_SIM_THREAD_POOL_HPP
 #define DLB_SIM_THREAD_POOL_HPP
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -36,11 +47,18 @@ public:
     void parallel_for(std::int64_t count,
                       const std::function<void(std::int64_t, std::int64_t)>& body) override;
 
+    void parallel_tasks(std::int64_t count,
+                        const std::function<void(std::int64_t, std::int64_t)>& body) override;
+
 private:
+    void run_distributed(std::int64_t count, std::int64_t grain,
+                         const std::function<void(std::int64_t, std::int64_t)>& body);
+
     struct job {
         const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
         std::int64_t count = 0;
         std::int64_t chunk = 0;
+        std::int64_t num_chunks = 0;
         std::uint64_t generation = 0;
     };
 
@@ -51,6 +69,7 @@ private:
     std::condition_variable work_ready_;
     std::condition_variable work_done_;
     job job_;
+    std::atomic<std::int64_t> next_chunk_{0};
     std::uint64_t generation_ = 0;
     unsigned remaining_ = 0;
     bool stopping_ = false;

@@ -261,6 +261,28 @@ TEST(CampaignExecutor, ReportsAreThreadCountIndependent)
     EXPECT_EQ(csv_a.str(), csv_b.str());
 }
 
+TEST(CampaignExecutor, EngineThreadsKeepReportsByteIdentical)
+{
+    // In-engine parallelism (one kernel pool shared by serially executed
+    // scenarios) must not change a single byte of the reports.
+    const campaign_spec spec = determinism_spec();
+
+    campaign_options serial;
+    serial.threads = 1;
+    campaign_options engine_parallel;
+    engine_parallel.threads = 4; // forced back to 1 by engine_threads != 1
+    engine_parallel.engine_threads = 3;
+
+    const auto a = run_campaign(spec, serial);
+    const auto b = run_campaign(spec, engine_parallel);
+    ASSERT_EQ(a.scenarios.size(), b.scenarios.size());
+
+    std::ostringstream json_a, json_b;
+    write_json(json_a, a);
+    write_json(json_b, b);
+    EXPECT_EQ(json_a.str(), json_b.str());
+}
+
 TEST(CampaignExecutor, ConservationHoldsAcrossTheSweep)
 {
     const auto result = run_campaign(determinism_spec(), {});

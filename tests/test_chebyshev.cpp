@@ -60,6 +60,23 @@ TEST(Chebyshev, OmegaDescendsFromOmega2TowardBetaOpt)
     }
 }
 
+TEST(Chebyshev, IncrementalStateMatchesPureFunctionBitwise)
+{
+    // The engines carry the omega recurrence in scheme_beta_state (O(1) per
+    // round); it must reproduce the pure O(t) function exactly, including
+    // after a reset (hybrid switch restart), for every scheme kind.
+    for (const auto scheme :
+         {fos_scheme(), sos_scheme(1.7), chebyshev_scheme(0.97)}) {
+        scheme_beta_state state(scheme);
+        for (std::int64_t t = 0; t < 3000; ++t)
+            ASSERT_EQ(state.next(), scheme_beta_for_round(scheme, t)) << t;
+
+        state.reset(scheme);
+        EXPECT_EQ(state.next(), scheme_beta_for_round(scheme, 0));
+        EXPECT_EQ(state.next(), scheme_beta_for_round(scheme, 1));
+    }
+}
+
 TEST(Chebyshev, Validation)
 {
     EXPECT_THROW(validate_scheme(chebyshev_scheme(1.0)), std::invalid_argument);

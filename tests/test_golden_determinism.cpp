@@ -1,0 +1,405 @@
+// Golden determinism suite for the canonical-edge round kernels.
+//
+// Two bitwise guarantees are pinned here:
+//
+//  1. The canonical-edge kernels (scheduled_flows computing each edge once
+//     and mirroring by negation, round_flows with the fused/canonical
+//     mirror) produce bit-for-bit the same output as the pre-refactor
+//     two-sided kernels (kept as scheduled_flows_reference /
+//     round_flows_reference). A reference pipeline re-implementing the old
+//     engine round drives the comparison over real engine trajectories, so
+//     every `time_series` a run records is byte-identical to what the old
+//     kernel produced: the series is a pure function of the per-round load
+//     state, which is compared exactly here.
+//
+//  2. Engine output is byte-identical across executors: serial_executor and
+//     thread_pool with 1, 2 and 8 workers, across discrete/continuous
+//     engines, all four roundings, both negative-load policies, and a
+//     hybrid-switch Chebyshev long run (>= 4000 rounds, which is only
+//     affordable because the engines carry the omega recurrence in O(1)).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/alpha.hpp"
+#include "core/beta.hpp"
+#include "core/diffusion_matrix.hpp"
+#include "core/process.hpp"
+#include "core/rounding.hpp"
+#include "core/scheme.hpp"
+#include "graph/generators.hpp"
+#include "sim/initial_load.hpp"
+#include "sim/runner.hpp"
+#include "sim/thread_pool.hpp"
+
+namespace dlb {
+namespace {
+
+template <class T>
+bool bytes_equal(const std::vector<T>& a, const std::vector<T>& b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+template <class T>
+bool bytes_equal(std::span<const T> a, const std::vector<T>& b)
+{
+    return a.size() == b.size() &&
+           (a.empty() ||
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(T)) == 0);
+}
+
+/// Byte-level equality of every recorded series field (memcmp, so it also
+/// distinguishes -0.0 from +0.0 and would catch any reordered combine).
+void expect_series_identical(const time_series& a, const time_series& b,
+                             const std::string& label)
+{
+    EXPECT_TRUE(bytes_equal(a.rounds, b.rounds)) << label;
+    EXPECT_TRUE(bytes_equal(a.max_minus_average, b.max_minus_average)) << label;
+    EXPECT_TRUE(bytes_equal(a.max_local_difference, b.max_local_difference))
+        << label;
+    EXPECT_TRUE(bytes_equal(a.potential_over_n, b.potential_over_n)) << label;
+    EXPECT_TRUE(bytes_equal(a.min_load, b.min_load)) << label;
+    EXPECT_TRUE(bytes_equal(a.min_transient_load, b.min_transient_load)) << label;
+    EXPECT_TRUE(bytes_equal(a.deviation_from_twin, b.deviation_from_twin))
+        << label;
+    EXPECT_TRUE(bytes_equal(a.total_load_error, b.total_load_error)) << label;
+    EXPECT_EQ(a.switch_round, b.switch_round) << label;
+    EXPECT_EQ(a.total_injected, b.total_injected) << label;
+    EXPECT_EQ(a.total_drained, b.total_drained) << label;
+    EXPECT_EQ(std::memcmp(&a.negative, &b.negative, sizeof a.negative), 0)
+        << label;
+    EXPECT_EQ(a.remaining_imbalance, b.remaining_imbalance) << label;
+    EXPECT_EQ(a.imbalance_converged, b.imbalance_converged) << label;
+}
+
+struct golden_case {
+    std::string name;
+    graph g;
+    speed_profile speeds;
+};
+
+std::vector<golden_case> golden_topologies()
+{
+    std::vector<golden_case> cases;
+    cases.push_back({"torus", make_torus_2d(8, 8), speed_profile::uniform(64)});
+    cases.push_back(
+        {"hypercube", make_hypercube(6), speed_profile::uniform(64)});
+    {
+        graph g = make_random_regular_cm(60, 5, 17);
+        const node_id n = g.num_nodes();
+        cases.push_back({"random_regular_zipf_speeds", std::move(g),
+                         speed_profile::zipf(n, 1.0, 8.0, 23)});
+    }
+    return cases;
+}
+
+/// One old-style engine round: the exact pre-refactor pipeline built from
+/// the retained reference kernels and the (unchanged) apply rule.
+struct reference_pipeline {
+    const graph& g;
+    std::vector<double> alpha;
+    speed_profile speeds;
+    scheme_params scheme;
+    rounding_kind rounding;
+    std::uint64_t seed;
+
+    std::vector<std::int64_t> load;
+    std::vector<double> x_over_s;
+    std::vector<double> scheduled;
+    std::vector<std::int64_t> flows;
+    std::vector<std::int64_t> prev_int;
+    std::vector<double> prev_dbl;
+    std::int64_t round = 0;
+
+    reference_pipeline(const graph& graph_, speed_profile speeds_,
+                       scheme_params scheme_, rounding_kind rounding_,
+                       std::uint64_t seed_, std::vector<std::int64_t> initial)
+        : g(graph_),
+          alpha(make_alpha(g, alpha_policy::max_degree_plus_one)),
+          speeds(std::move(speeds_)),
+          scheme(scheme_),
+          rounding(rounding_),
+          seed(seed_),
+          load(std::move(initial))
+    {
+        const auto half_edges = static_cast<std::size_t>(g.num_half_edges());
+        x_over_s.resize(load.size());
+        scheduled.assign(half_edges, 0.0);
+        flows.assign(half_edges, 0);
+        prev_int.assign(half_edges, 0);
+        prev_dbl.assign(half_edges, 0.0);
+    }
+
+    void step()
+    {
+        for (node_id v = 0; v < g.num_nodes(); ++v)
+            x_over_s[v] = static_cast<double>(load[v]) / speeds.speed(v);
+        scheduled_flows_reference(g, alpha, scheme, round, x_over_s, prev_dbl,
+                                  scheduled, default_executor());
+        round_flows_reference(g, rounding, scheduled, seed, round, flows,
+                              default_executor());
+        for (node_id v = 0; v < g.num_nodes(); ++v) {
+            std::int64_t net_out = 0;
+            for (half_edge_id h = g.half_edge_begin(v); h < g.half_edge_end(v);
+                 ++h)
+                net_out += flows[h];
+            load[v] -= net_out;
+        }
+        std::swap(prev_int, flows);
+        for (std::size_t h = 0; h < prev_int.size(); ++h)
+            prev_dbl[h] = static_cast<double>(prev_int[h]);
+        ++round;
+    }
+};
+
+TEST(GoldenKernel, CanonicalMatchesTwoSidedKernelBitwise)
+{
+    // Drive the real engine and the reference pipeline in lock-step over
+    // real trajectories: loads, scheduled flows and rounded flows must stay
+    // bit-for-bit identical on every round, for every rounding scheme, on
+    // three topology families (one heterogeneous).
+    for (auto& tc : golden_topologies()) {
+        for (const rounding_kind rounding :
+             {rounding_kind::randomized, rounding_kind::floor,
+              rounding_kind::nearest, rounding_kind::bernoulli_edge}) {
+            const double lambda = compute_lambda(
+                tc.g, make_alpha(tc.g, alpha_policy::max_degree_plus_one),
+                tc.speeds);
+            const scheme_params scheme = sos_scheme(beta_opt(lambda));
+            const auto initial =
+                point_load(tc.g.num_nodes(), 0, tc.g.num_nodes() * 500LL);
+
+            diffusion_config config{
+                &tc.g, make_alpha(tc.g, alpha_policy::max_degree_plus_one),
+                tc.speeds, scheme};
+            discrete_process engine(config, initial, rounding, 42);
+            reference_pipeline reference(tc.g, tc.speeds, scheme, rounding, 42,
+                                         initial);
+
+            for (int t = 0; t < 120; ++t) {
+                engine.step();
+                reference.step();
+                ASSERT_TRUE(bytes_equal(engine.load(), reference.load))
+                    << tc.name << " " << to_string(rounding) << " round " << t;
+                ASSERT_TRUE(
+                    bytes_equal(engine.last_scheduled_flows(), reference.scheduled))
+                    << tc.name << " " << to_string(rounding) << " round " << t;
+                ASSERT_TRUE(bytes_equal(engine.previous_flows(), reference.prev_int))
+                    << tc.name << " " << to_string(rounding) << " round " << t;
+            }
+        }
+    }
+}
+
+TEST(GoldenKernel, ChebyshevTrajectoryMatchesReferenceBitwise)
+{
+    // Same lock-step comparison under the Chebyshev per-round omega — this
+    // also pins the incremental scheme_beta_state against the pure
+    // recurrence the reference kernel evaluates from scratch each round.
+    const graph g = make_torus_2d(8, 8);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    const double lambda =
+        compute_lambda(g, make_alpha(g, alpha_policy::max_degree_plus_one), speeds);
+    const scheme_params scheme = chebyshev_scheme(lambda);
+    const auto initial = point_load(g.num_nodes(), 0, 64000);
+
+    diffusion_config config{&g, make_alpha(g, alpha_policy::max_degree_plus_one),
+                            speeds, scheme};
+    discrete_process engine(config, initial, rounding_kind::randomized, 9);
+    reference_pipeline reference(g, speeds, scheme, rounding_kind::randomized, 9,
+                                 initial);
+    for (int t = 0; t < 200; ++t) {
+        engine.step();
+        reference.step();
+        ASSERT_TRUE(bytes_equal(engine.load(), reference.load)) << t;
+        ASSERT_TRUE(bytes_equal(engine.last_scheduled_flows(), reference.scheduled))
+            << t;
+    }
+}
+
+TEST(GoldenKernel, ContinuousScheduledFlowsMatchReferenceBitwise)
+{
+    // The continuous engine exercises the signed-zero corner cases (exact
+    // cancellation near convergence) that integer-valued discrete flows
+    // cannot: compare the kernels directly on the continuous engine's own
+    // evolving state.
+    const graph g = make_torus_2d(8, 8);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    const scheme_params scheme = sos_scheme(1.6);
+
+    diffusion_config config{&g, alpha, speeds, scheme};
+    continuous_process engine(config,
+                              to_continuous(point_load(g.num_nodes(), 0, 64000)));
+
+    std::vector<double> x(engine.load().begin(), engine.load().end());
+    std::vector<double> canonical(static_cast<std::size_t>(g.num_half_edges()));
+    std::vector<double> reference(canonical.size());
+    for (int t = 0; t < 2000; ++t) {
+        engine.step();
+        x.assign(engine.load().begin(), engine.load().end());
+        const auto prev = engine.previous_flows();
+        scheduled_flows(g, alpha, scheme, t + 1, x, prev, canonical,
+                        default_executor());
+        scheduled_flows_reference(g, alpha, scheme, t + 1, x, prev, reference,
+                                  default_executor());
+        ASSERT_TRUE(bytes_equal(std::span<const double>(canonical), reference))
+            << "round " << t;
+    }
+}
+
+struct determinism_grid_case {
+    process_kind process;
+    rounding_kind rounding;
+    negative_load_policy policy;
+};
+
+TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutors)
+{
+    const graph g = make_torus_2d(12, 12);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::bimodal(g.num_nodes(), 0.25, 4.0, 5);
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 100LL);
+
+    std::vector<determinism_grid_case> grid;
+    for (const auto rounding :
+         {rounding_kind::randomized, rounding_kind::floor, rounding_kind::nearest,
+          rounding_kind::bernoulli_edge})
+        for (const auto policy :
+             {negative_load_policy::allow, negative_load_policy::prevent})
+            grid.push_back({process_kind::discrete, rounding, policy});
+    grid.push_back({process_kind::continuous, rounding_kind::randomized,
+                    negative_load_policy::allow});
+
+    for (const auto& cell : grid) {
+        experiment_config config;
+        config.diffusion = {&g, alpha, speeds, sos_scheme(1.7)};
+        config.process = cell.process;
+        config.rounding = cell.rounding;
+        config.policy = cell.policy;
+        config.seed = 77;
+        config.rounds = 300;
+        config.record_every = 7;
+
+        const std::string label =
+            std::string(cell.process == process_kind::continuous ? "continuous"
+                                                                 : "discrete") +
+            "/" + std::string(to_string(cell.rounding)) + "/" +
+            (cell.policy == negative_load_policy::prevent ? "prevent" : "allow");
+
+        config.exec = nullptr;
+        const time_series serial = run_experiment(config, initial);
+        for (const unsigned workers : {1u, 2u, 8u}) {
+            thread_pool pool(workers);
+            config.exec = &pool;
+            const time_series pooled = run_experiment(config, initial);
+            expect_series_identical(serial, pooled,
+                                    label + " workers=" + std::to_string(workers));
+        }
+    }
+}
+
+TEST(GoldenDeterminism, HybridChebyshevLongRunByteIdentical)
+{
+    // >= 4000 rounds of Chebyshev followed by a hybrid switch to FOS. Under
+    // the old O(T^2) scheme_beta_for_round-per-round recurrence this run
+    // alone would re-execute ~T^2/2 omega iterations; with the incremental
+    // state it is O(T) and cheap enough for the suite.
+    const graph g = make_torus_2d(8, 8);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    const double lambda = compute_lambda(g, alpha, speeds);
+
+    experiment_config config;
+    config.diffusion = {&g, alpha, speeds, chebyshev_scheme(lambda)};
+    config.rounding = rounding_kind::randomized;
+    config.seed = 13;
+    config.rounds = 4500;
+    config.record_every = 50;
+    config.switching = switch_policy::at(4000);
+    config.switch_to = fos_scheme();
+
+    const auto initial = point_load(g.num_nodes(), 0, 64000);
+    config.exec = nullptr;
+    const time_series serial = run_experiment(config, initial);
+    EXPECT_EQ(serial.switch_round, 4000);
+
+    for (const unsigned workers : {2u, 8u}) {
+        thread_pool pool(workers);
+        config.exec = &pool;
+        expect_series_identical(serial, run_experiment(config, initial),
+                                "hybrid-chebyshev workers=" +
+                                    std::to_string(workers));
+    }
+}
+
+TEST(GoldenDeterminism, PreventPolicyClipRepairKeepsAntisymmetry)
+{
+    // Force heavy clipping (tiny loads, aggressive SOS beta) and verify the
+    // targeted twin repair: flows stay antisymmetric, conservation holds,
+    // and serial/pooled runs agree bitwise.
+    const graph g = make_random_regular_cm(80, 4, 3);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    diffusion_config config{&g, alpha, speeds, sos_scheme(1.9)};
+    const auto initial = point_load(g.num_nodes(), 0, 3 * g.num_nodes());
+
+    discrete_process serial_engine(config, initial, rounding_kind::randomized, 21,
+                                   negative_load_policy::prevent);
+    thread_pool pool(8);
+    discrete_process pooled_engine(config, initial, rounding_kind::randomized, 21,
+                                   negative_load_policy::prevent, &pool);
+
+    for (int t = 0; t < 150; ++t) {
+        serial_engine.step();
+        pooled_engine.step();
+        ASSERT_TRUE(bytes_equal(serial_engine.load(),
+                                std::vector<std::int64_t>(
+                                    pooled_engine.load().begin(),
+                                    pooled_engine.load().end())))
+            << t;
+        const auto flows = serial_engine.previous_flows();
+        for (half_edge_id h = 0; h < g.num_half_edges(); ++h)
+            ASSERT_EQ(flows[h], -flows[g.twin(h)]) << "h=" << h << " t=" << t;
+        ASSERT_TRUE(serial_engine.verify_conservation()) << t;
+    }
+    EXPECT_GT(serial_engine.clipped_tokens(), 0);
+    EXPECT_EQ(serial_engine.clipped_tokens(), pooled_engine.clipped_tokens());
+}
+
+TEST(GoldenDeterminism, ParallelReduceCombinesInFixedOrder)
+{
+    // Floating-point sums are order-sensitive; the fixed chunking + ordered
+    // combine must make them bitwise reproducible for any executor.
+    const std::int64_t n = 100003;
+    std::vector<double> values(static_cast<std::size_t>(n));
+    xoshiro256ss rng{123};
+    for (auto& v : values) v = rng.next_double() * 2.0 - 1.0;
+
+    auto sum_with = [&](executor& exec) {
+        return exec.parallel_reduce(
+            n, 0.0,
+            [&](std::int64_t begin, std::int64_t end) {
+                double acc = 0.0;
+                for (std::int64_t i = begin; i < end; ++i)
+                    acc += values[static_cast<std::size_t>(i)];
+                return acc;
+            },
+            [](double a, double b) { return a + b; });
+    };
+
+    const double serial = sum_with(default_executor());
+    for (const unsigned workers : {1u, 2u, 3u, 8u}) {
+        thread_pool pool(workers);
+        const double pooled = sum_with(pool);
+        EXPECT_EQ(std::memcmp(&serial, &pooled, sizeof serial), 0)
+            << "workers=" << workers;
+    }
+}
+
+} // namespace
+} // namespace dlb

@@ -75,12 +75,12 @@ TEST(Workload, BurstFiresOnPeriodBoundaries)
     const std::vector<double> load(n, 0.0);
     std::vector<std::int64_t> delta(n, 0);
     std::int64_t injected = 0;
-    for (std::int64_t round = 0; round < 100; ++round) {
+    for (std::int64_t round = 0; round < 101; ++round) {
         std::fill(delta.begin(), delta.end(), 0);
         const bool any = hook->apply(round, load, delta);
         const std::int64_t sum =
             std::accumulate(delta.begin(), delta.end(), std::int64_t{0});
-        if (round % 25 == 0) {
+        if (round != 0 && round % 25 == 0) {
             EXPECT_TRUE(any) << round;
             EXPECT_EQ(sum, 500) << round;
         } else {
@@ -90,6 +90,26 @@ TEST(Workload, BurstFiresOnPeriodBoundaries)
         injected += sum;
     }
     EXPECT_EQ(injected, 4 * 500);
+}
+
+TEST(Workload, BurstNeverFiresAtRoundZero)
+{
+    // Regression: 0 % period == 0 used to inject before the scheme had run
+    // a single round (the same defect class as the hybrid round-0 trigger).
+    // The first burst must land at round `period`, even for period 1.
+    for (const std::int64_t period : {1, 2, 25}) {
+        auto hook = make_workload({"burst", 0, 100, period}, 8, 7);
+        const std::vector<double> load(8, 0.0);
+        std::vector<std::int64_t> delta(8, 0);
+        EXPECT_FALSE(hook->apply(0, load, delta)) << "period " << period;
+        EXPECT_EQ(std::accumulate(delta.begin(), delta.end(), std::int64_t{0}), 0)
+            << "period " << period;
+        std::fill(delta.begin(), delta.end(), 0);
+        EXPECT_TRUE(hook->apply(period, load, delta)) << "period " << period;
+        EXPECT_EQ(std::accumulate(delta.begin(), delta.end(), std::int64_t{0}),
+                  100)
+            << "period " << period;
+    }
 }
 
 TEST(Workload, DrainNeverTakesFromEmptyNodes)
