@@ -3,6 +3,7 @@
 // A campaign is a base scenario plus Cartesian sweep axes. Every scenario
 // field can be set as --<field> <value> and swept as --sweep.<field> a,b,c;
 // the same vocabulary works in a key=value spec file loaded with --spec.
+// Full reference: docs/campaign-specs.md.
 //
 //   # 24 scenarios: 3 topologies x 2 schemes x 2 roundings x 2 seeds
 //   dlb_campaign --nodes 1024 --rounds 400 \
@@ -10,8 +11,15 @@
 //     --sweep.scheme fos,sos --sweep.rounding randomized,floor --seeds 2 \
 //     --threads 8 --json campaign.json --csv campaign.csv
 //
-// Reports are byte-identical for any --threads value; add --timing to
-// include (nondeterministic) wall-clock fields.
+//   # the same campaign split across two processes/machines, then merged
+//   dlb_campaign --spec big.spec --shard 0/2 --csv s0.csv
+//   dlb_campaign --spec big.spec --shard 1/2 --csv s1.csv
+//   dlb_campaign --spec big.spec --merge s0.csv,s1.csv \
+//     --csv full.csv --json full.json
+//
+// Reports are byte-identical for any --threads value, with or without
+// --shard + --merge, and with or without graph caching / scratch pooling;
+// add --timing to include (nondeterministic) wall-clock fields.
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -30,17 +38,38 @@ void print_usage(std::ostream& out)
            "  --<field> VALUE        set a base scenario field\n"
            "  --sweep.<field> A,B,C  sweep a field over a value list\n"
            "  --seeds N              sweep seed over base..base+N-1\n"
-           "  --threads N            parallel scenario workers (0: hardware)\n"
-           "  --engine-threads N     in-engine round-kernel workers per scenario\n"
-           "                         (0: hardware, 1: serial; N != 1 runs the\n"
-           "                         scenario fan-out serially)\n"
+           "  --shard I/N            run only scenarios with index = I mod N\n"
+           "                         (rows keep global indices; merge with\n"
+           "                         --merge for the full report)\n"
+           "  --merge A.csv,B.csv    merge shard CSV reports written with the\n"
+           "                         same campaign definition; runs nothing,\n"
+           "                         writes --csv/--json byte-identical to an\n"
+           "                         unsharded run\n"
+           "  --threads N            parallel scenario workers (0: hardware).\n"
+           "                         Fans whole scenarios out; use it when a\n"
+           "                         campaign is many scenarios\n"
+           "  --engine-threads N     in-engine round-kernel workers per\n"
+           "                         scenario (0: hardware, 1: serial). Use it\n"
+           "                         when a campaign is a few LARGE scenarios;\n"
+           "                         any value != 1 forces the scenario\n"
+           "                         fan-out serial, so --threads is then\n"
+           "                         ignored — the two levels never compose,\n"
+           "                         pick one. Reports are byte-identical\n"
+           "                         either way\n"
+           "  --no-graph-cache       re-resolve the topology per scenario\n"
+           "                         instead of sharing resolved graphs\n"
+           "  --no-scratch-pool      allocate engine arrays per scenario\n"
+           "                         instead of pooling per worker\n"
            "  --record-every N       series sampling stride (0: rounds/256)\n"
            "  --json PATH            write the aggregated JSON report\n"
            "  --csv PATH             write the per-scenario CSV report\n"
            "  --series-dir DIR       write each scenario's per-round series CSV\n"
            "  --timing               include wall-clock fields in reports\n"
+           "                         (breaks byte-determinism and --merge)\n"
            "  --quiet                suppress per-scenario progress on stderr\n"
            "  --dry-run              expand and list scenarios, run nothing\n"
+           "  --list                 print registered topologies, load\n"
+           "                         patterns and workloads, then exit\n"
            "fields:";
     for (const auto& field : campaign::field_names()) out << " " << field;
     out << "\ntopologies:";
@@ -49,7 +78,23 @@ void print_usage(std::ostream& out)
     for (const auto& name : campaign::load_pattern_names()) out << " " << name;
     out << "\nworkloads:";
     for (const auto& name : campaign::workload_names()) out << " " << name;
-    out << "\n";
+    out << "\nsee docs/campaign-specs.md for the full reference\n";
+}
+
+// Registry dump for scripts (and for keeping docs honest: the names printed
+// here come from the same tables the executor resolves against).
+void print_registry(std::ostream& out)
+{
+    out << "topologies:\n";
+    for (const auto& name : campaign::topology_names())
+        out << "  " << name << (campaign::topology_uses_seed(name)
+                                    ? "  (seed-dependent)\n"
+                                    : "\n");
+    out << "load patterns:\n";
+    for (const auto& name : campaign::load_pattern_names())
+        out << "  " << name << "\n";
+    out << "workloads:\n";
+    for (const auto& name : campaign::workload_names()) out << "  " << name << "\n";
 }
 
 } // namespace
@@ -59,6 +104,10 @@ int main(int argc, char** argv)
     const cli_args args(argc, argv);
     if (args.has("help")) {
         print_usage(std::cout);
+        return 0;
+    }
+    if (args.has("list")) {
+        print_registry(std::cout);
         return 0;
     }
 
@@ -71,10 +120,12 @@ int main(int argc, char** argv)
         // Known option names: harness flags plus every scenario field in
         // base and sweep form. Anything else is a typo worth failing on.
         std::set<std::string> known = {"spec",    "name",   "seeds",
-                                       "threads", "engine-threads",
-                                       "record-every", "json",
-                                       "csv",     "series-dir",   "timing",
-                                       "quiet",   "dry-run",      "help"};
+                                       "shard",   "merge",  "threads",
+                                       "engine-threads", "no-graph-cache",
+                                       "no-scratch-pool", "record-every",
+                                       "json",    "csv",    "series-dir",
+                                       "timing",  "quiet",  "dry-run",
+                                       "list",    "help"};
         for (const auto& field : campaign::field_names()) {
             known.insert(field);
             known.insert("sweep." + field);
@@ -115,19 +166,43 @@ int main(int argc, char** argv)
             return 0;
         }
 
-        campaign::campaign_options options;
-        const std::int64_t threads = args.get_int("threads", 0);
-        const std::int64_t engine_threads = args.get_int("engine-threads", 1);
-        if (threads < 0 || engine_threads < 0)
-            throw std::invalid_argument("thread counts must be >= 0");
-        options.threads = static_cast<unsigned>(threads);
-        options.engine_threads = static_cast<unsigned>(engine_threads);
-        options.record_every = args.get_int("record-every", 0);
-        options.series_dir = args.get_string("series-dir", "");
-        if (!args.get_bool("quiet", false)) options.progress = &std::cerr;
-
-        const auto result = campaign::run_campaign(spec, options);
         const bool timing = args.get_bool("timing", false);
+
+        campaign::campaign_result result;
+        if (args.has("merge")) {
+            if (args.has("shard"))
+                throw std::invalid_argument("--merge and --shard are exclusive");
+            if (timing)
+                throw std::invalid_argument(
+                    "--merge works on timing-free reports (drop --timing)");
+            const auto paths =
+                campaign::split_list(args.get_string("merge", ""));
+            if (paths.empty())
+                throw std::invalid_argument("--merge needs shard CSV paths");
+            result = campaign::merge_shard_csv(spec, paths,
+                                               args.get_int("record-every", 0));
+        } else {
+            campaign::campaign_options options;
+            const std::int64_t threads = args.get_int("threads", 0);
+            const std::int64_t engine_threads = args.get_int("engine-threads", 1);
+            if (threads < 0 || engine_threads < 0)
+                throw std::invalid_argument("thread counts must be >= 0");
+            options.threads = static_cast<unsigned>(threads);
+            options.engine_threads = static_cast<unsigned>(engine_threads);
+            options.record_every = args.get_int("record-every", 0);
+            options.series_dir = args.get_string("series-dir", "");
+            options.reuse_graphs = !args.get_bool("no-graph-cache", false);
+            options.pool_scratch = !args.get_bool("no-scratch-pool", false);
+            if (args.has("shard")) {
+                const auto shard =
+                    campaign::parse_shard(args.get_string("shard", ""));
+                options.shard_index = shard.index;
+                options.shard_count = shard.count;
+            }
+            if (!args.get_bool("quiet", false)) options.progress = &std::cerr;
+
+            result = campaign::run_campaign(spec, options);
+        }
 
         campaign::print_campaign_summary(std::cout, result);
 

@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <numeric>
+#include <optional>
 #include <ostream>
 #include <stdexcept>
 
@@ -17,6 +18,7 @@
 #include "core/diffusion_matrix.hpp"
 #include "sim/runner.hpp"
 #include "sim/thread_pool.hpp"
+#include "util/csv.hpp" // format_double
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -80,6 +82,28 @@ negative_load_policy resolve_policy(const scenario_spec& spec)
     throw std::invalid_argument("unknown policy '" + spec.policy + "'");
 }
 
+// Every input of compute_lambda(g, alpha, speeds), encoded: the exact graph
+// identity (cache key), the alpha policy (gamma only when it is read), and
+// the speed profile (its knobs and derived seed only when non-uniform). Two
+// scenarios with equal keys get bit-identical lambdas by construction.
+std::string lambda_cache_key(const scenario_spec& spec)
+{
+    std::string key = spec.topology + "|" + std::to_string(spec.nodes) + "|" +
+                      format_double(spec.topology_param) + "|";
+    key += topology_uses_seed(spec.topology)
+               ? std::to_string(topology_seed(spec.seed))
+               : std::string("-");
+    key += "|" + spec.alpha;
+    if (spec.alpha == "uniform_gamma_d")
+        key += "|" + format_double(spec.alpha_gamma);
+    key += "|" + spec.speeds;
+    if (spec.speeds != "uniform")
+        key += "|" + format_double(spec.speed_value) + "|" +
+               format_double(spec.speed_shape) + "|" +
+               std::to_string(mix64(spec.seed, kSpeedStream));
+    return key;
+}
+
 switch_policy resolve_switching(const scenario_spec& spec)
 {
     if (spec.switch_mode == "never") return switch_policy::never();
@@ -98,26 +122,46 @@ switch_policy resolve_switching(const scenario_spec& spec)
 scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                              std::int64_t record_every,
                              const std::string& series_dir,
-                             executor* engine_exec)
+                             executor* engine_exec, graph_cache* cache,
+                             engine_scratch* scratch)
 {
     scenario_result result;
     result.spec = spec;
     result.index = index;
     result.label = scenario_label(spec);
+    result.record_every = record_every;
     const stopwatch watch;
 
     try {
         if (spec.rounds < 0)
             throw std::invalid_argument("scenario: negative round count");
 
-        const graph g = build_topology(spec.topology, spec.nodes,
-                                       spec.topology_param,
-                                       topology_seed(spec.seed));
+        // Resolve the topology: shared from the cache when one is given
+        // (identical build inputs, so bit-identical graphs), cold-built
+        // otherwise. The shared_ptr keeps a cached graph alive for the run.
+        std::shared_ptr<const graph> shared;
+        std::optional<graph> owned;
+        if (cache != nullptr) {
+            shared = cache->get(spec.topology, spec.nodes, spec.topology_param,
+                                spec.seed);
+        } else {
+            owned.emplace(build_topology(spec.topology, spec.nodes,
+                                         spec.topology_param,
+                                         topology_seed(spec.seed)));
+        }
+        const graph& g = cache != nullptr ? *shared : *owned;
         result.nodes = g.num_nodes();
         result.edges = g.num_edges();
 
         const auto alpha = make_alpha(g, resolve_alpha(spec), spec.alpha_gamma);
         const auto speeds = resolve_speeds(spec, g.num_nodes());
+        const auto lambda_of = [&] {
+            return cache != nullptr
+                       ? cache->lambda(lambda_cache_key(spec),
+                                       [&] { return compute_lambda(g, alpha,
+                                                                   speeds); })
+                       : compute_lambda(g, alpha, speeds);
+        };
 
         // Relaxation parameter: explicit beta wins; otherwise SOS and
         // Chebyshev derive it from the computed lambda (Table I pipeline).
@@ -128,13 +172,13 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
         } else if (spec.scheme == "sos") {
             double beta = spec.beta;
             if (beta <= 0.0) {
-                result.lambda = compute_lambda(g, alpha, speeds);
+                result.lambda = lambda_of();
                 beta = beta_opt(result.lambda);
             }
             scheme = sos_scheme(beta);
             result.beta = beta;
         } else if (spec.scheme == "chebyshev") {
-            result.lambda = compute_lambda(g, alpha, speeds);
+            result.lambda = lambda_of();
             scheme = chebyshev_scheme(result.lambda);
             result.beta = beta_opt(result.lambda);
         } else {
@@ -168,6 +212,7 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
         config.exec = engine_exec; // nullptr: serial round kernels (the
                                    // default when campaigns parallelize
                                    // across scenarios instead)
+        config.scratch = scratch; // nullptr: engines allocate fresh
 
         const time_series series = run_experiment(config, initial);
 
@@ -219,15 +264,30 @@ campaign_result detail_run(const campaign_spec& spec,
                            const std::vector<scenario_spec>& scenarios,
                            const campaign_options& options)
 {
-    const auto count = static_cast<std::int64_t>(scenarios.size());
+    if (options.shard_count < 1)
+        throw std::invalid_argument("campaign: shard count must be >= 1");
+    if (options.shard_index < 0 || options.shard_index >= options.shard_count)
+        throw std::invalid_argument("campaign: shard index out of range");
 
-    std::int64_t record_every = options.record_every;
-    if (record_every <= 0)
-        record_every = std::max<std::int64_t>(1, spec.base.rounds / 256);
+    // Process-level sharding: round-robin over the expansion order, so
+    // every shard gets a representative mix even when one sweep axis is
+    // much more expensive than the others. Selected scenarios keep their
+    // global indices; merge_shard_csv reassembles the full report.
+    std::vector<std::int64_t> selected;
+    selected.reserve(scenarios.size() /
+                         static_cast<std::size_t>(options.shard_count) +
+                     1);
+    for (std::size_t i = static_cast<std::size_t>(options.shard_index);
+         i < scenarios.size(); i += static_cast<std::size_t>(options.shard_count))
+        selected.push_back(static_cast<std::int64_t>(i));
+    const auto count = static_cast<std::int64_t>(selected.size());
+
+    const std::int64_t record_every =
+        resolved_record_every(spec, options.record_every);
 
     campaign_result result;
     result.spec = spec;
-    result.scenarios.resize(scenarios.size());
+    result.scenarios.resize(selected.size());
 
     if (!options.series_dir.empty())
         std::filesystem::create_directories(options.series_dir);
@@ -235,6 +295,10 @@ campaign_result detail_run(const campaign_spec& spec,
     const stopwatch watch;
     std::atomic<std::int64_t> next{0};
     std::mutex progress_mutex;
+
+    // Shared topology/lambda resolution across the whole campaign.
+    graph_cache cache;
+    graph_cache* const cache_ptr = options.reuse_graphs ? &cache : nullptr;
 
     // In-engine parallelism: one shared kernel pool handed to every
     // scenario. The pool's parallel_for is a single-caller rendezvous, so
@@ -246,20 +310,26 @@ campaign_result detail_run(const campaign_spec& spec,
 
     // One experiment per task: every pool invocation drains a shared index
     // queue instead of sticking to its contiguous chunk, so a handful of
-    // slow scenarios cannot idle the other workers. results[i] is written by
-    // exactly one claimant of i, and each entry depends only on its spec, so
-    // output is identical for any thread count.
+    // slow scenarios cannot idle the other workers. results[slot] is
+    // written by exactly one claimant of slot, and each entry depends only
+    // on its spec, so output is identical for any thread count. Each worker
+    // drains the queue in a single invocation, so the scratch pool created
+    // here is per-worker and reused across all its scenarios.
     auto drain_queue = [&](std::int64_t, std::int64_t) {
-        std::int64_t i = 0;
-        while ((i = next.fetch_add(1)) < count) {
-            result.scenarios[i] =
+        engine_scratch scratch;
+        engine_scratch* const scratch_ptr =
+            options.pool_scratch ? &scratch : nullptr;
+        std::int64_t slot = 0;
+        while ((slot = next.fetch_add(1)) < count) {
+            const std::int64_t i = selected[static_cast<std::size_t>(slot)];
+            result.scenarios[slot] =
                 run_scenario(scenarios[i], i, record_every, options.series_dir,
-                             engine_pool.get());
+                             engine_pool.get(), cache_ptr, scratch_ptr);
             if (options.progress != nullptr) {
                 const std::scoped_lock lock(progress_mutex);
-                const auto& r = result.scenarios[i];
+                const auto& r = result.scenarios[slot];
                 *options.progress
-                    << "[" << i + 1 << "/" << count << "] " << r.label
+                    << "[" << slot + 1 << "/" << count << "] " << r.label
                     << (r.error.empty() ? "" : "  ERROR: " + r.error) << "\n";
             }
         }
@@ -295,6 +365,13 @@ campaign_result run_campaign(const campaign_spec& spec,
                              const campaign_options& options)
 {
     return detail_run(spec, expand(spec), options);
+}
+
+std::int64_t resolved_record_every(const campaign_spec& spec,
+                                   std::int64_t record_every)
+{
+    if (record_every > 0) return record_every;
+    return std::max<std::int64_t>(1, spec.base.rounds / 256);
 }
 
 } // namespace dlb::campaign

@@ -14,8 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "campaign/graph_cache.hpp"
 #include "campaign/spec.hpp"
 #include "core/process.hpp"
+#include "core/scratch.hpp"
 
 namespace dlb::campaign {
 
@@ -34,6 +36,24 @@ struct campaign_options {
     /// results stay byte-identical either way (the engines are
     /// deterministic for any worker count).
     unsigned engine_threads = 1;
+
+    /// Resolve each distinct topology (and its lambda) once per campaign
+    /// and share it across scenarios (graph_cache). Off: every scenario
+    /// cold-builds, the pre-cache behavior. Reports are byte-identical
+    /// either way.
+    bool reuse_graphs = true;
+    /// Reuse per-worker engine scratch (64-byte-aligned SoA buffers)
+    /// across consecutive scenarios instead of allocating per run. Off:
+    /// every engine allocates fresh. Reports are byte-identical either way.
+    bool pool_scratch = true;
+
+    /// Process-level sharding: this invocation runs only the scenarios
+    /// whose expansion index ≡ shard_index (mod shard_count). Results keep
+    /// their global indices, so shard CSV reports merge back into a
+    /// byte-identical equivalent of the unsharded run (see
+    /// merge_shard_csv). Default 0/1: run everything.
+    std::int64_t shard_index = 0;
+    std::int64_t shard_count = 1;
 };
 
 /// Summary of one executed scenario. When `error` is non-empty the scenario
@@ -47,6 +67,11 @@ struct scenario_result {
     // Resolved instance.
     std::int64_t nodes = 0;
     std::int64_t edges = 0;
+    /// The series sampling stride this scenario ran with. Metrics like
+    /// rounds_to_plateau are read off the recorded series, so the stride
+    /// shapes the report; it is echoed per row and validated on shard
+    /// merges (every shard must use the same stride).
+    std::int64_t record_every = 0;
     double lambda = -1.0; // second eigenvalue; -1 when not needed/computed
     double beta = 0.0;    // effective relaxation parameter (FOS: 1)
     std::int64_t initial_total = 0;
@@ -76,12 +101,16 @@ struct campaign_result {
 /// Resolves and runs one scenario; never throws — failures land in
 /// scenario_result::error so one bad cell cannot sink a sweep. A non-empty
 /// `series_dir` (must exist) also writes the recorded per-round series.
-/// `engine_exec` runs the per-round kernels (nullptr: serial); results are
-/// byte-identical regardless.
+/// `engine_exec` runs the per-round kernels (nullptr: serial); `cache`
+/// shares resolved topologies/lambdas across calls; `scratch` lends the
+/// engines pooled buffers. Results are byte-identical for every
+/// combination of the three.
 scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                              std::int64_t record_every,
                              const std::string& series_dir = {},
-                             executor* engine_exec = nullptr);
+                             executor* engine_exec = nullptr,
+                             graph_cache* cache = nullptr,
+                             engine_scratch* scratch = nullptr);
 
 /// Executes an explicit scenario list (programmatic campaigns, e.g. the
 /// bench reproductions). The spec echoed in the result carries `name` and
@@ -93,6 +122,12 @@ campaign_result run_scenarios(const std::string& name,
 /// Expands and executes the whole campaign.
 campaign_result run_campaign(const campaign_spec& spec,
                              const campaign_options& options = {});
+
+/// The series sampling stride a campaign with this spec runs with:
+/// `record_every` when positive, else the rounds/256 default (min 1).
+/// Shared by the executor and the shard-merge validation.
+std::int64_t resolved_record_every(const campaign_spec& spec,
+                                   std::int64_t record_every);
 
 } // namespace dlb::campaign
 

@@ -1,0 +1,69 @@
+#include "campaign/graph_cache.hpp"
+
+#include "campaign/registry.hpp"
+
+namespace dlb::campaign {
+
+std::shared_ptr<const graph> graph_cache::get(const std::string& family,
+                                              std::int64_t nodes, double param,
+                                              std::uint64_t scenario_seed)
+{
+    // Seed-independent families share one entry across the whole seed axis.
+    const std::uint64_t effective_seed =
+        topology_uses_seed(family) ? topology_seed(scenario_seed) : 0;
+
+    std::shared_ptr<graph_slot> slot;
+    {
+        const std::scoped_lock lock(mutex_);
+        auto& entry = graphs_[graph_key{family, nodes, param, effective_seed}];
+        if (entry == nullptr) entry = std::make_shared<graph_slot>();
+        slot = entry;
+    }
+
+    bool built_here = false;
+    std::call_once(slot->once, [&] {
+        slot->built = std::make_shared<const graph>(
+            build_topology(family, nodes, param, effective_seed));
+        built_here = true;
+    });
+    if (built_here)
+        graph_misses_.fetch_add(1, std::memory_order_relaxed);
+    else
+        graph_hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->built;
+}
+
+double graph_cache::lambda(const std::string& key,
+                           const std::function<double()>& compute)
+{
+    std::shared_ptr<lambda_slot> slot;
+    {
+        const std::scoped_lock lock(mutex_);
+        auto& entry = lambdas_[key];
+        if (entry == nullptr) entry = std::make_shared<lambda_slot>();
+        slot = entry;
+    }
+
+    bool computed_here = false;
+    std::call_once(slot->once, [&] {
+        slot->value = compute();
+        computed_here = true;
+    });
+    if (computed_here)
+        lambda_misses_.fetch_add(1, std::memory_order_relaxed);
+    else
+        lambda_hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->value;
+}
+
+graph_cache::cache_stats graph_cache::stats() const
+{
+    cache_stats out;
+    out.graph_hits = graph_hits_.load(std::memory_order_relaxed);
+    out.graph_misses = graph_misses_.load(std::memory_order_relaxed);
+    out.lambda_hits = lambda_hits_.load(std::memory_order_relaxed);
+    out.lambda_misses = lambda_misses_.load(std::memory_order_relaxed);
+    return out;
+}
+
+} // namespace dlb::campaign

@@ -1,0 +1,84 @@
+// Shared topology resolution for campaign sweeps.
+//
+// A sweep over schemes, roundings, workloads or (for deterministic
+// families) seeds re-describes the same topology thousands of times; a
+// graph_cache resolves each distinct spec once and hands every scenario a
+// shared_ptr to the same immutable graph. Expensive spectral work rides
+// along: the second eigenvalue lambda is cached per (graph, alpha, speeds)
+// so SOS/Chebyshev sweeps stop re-running Lanczos per scenario.
+//
+// Keys are exact build inputs — family, requested node count, family
+// parameter, and the derived topology seed for seed-dependent families
+// (seed-independent families key on 0, sharing across the whole seed axis)
+// — so a cached graph is bit-identical to a cold build by construction.
+//
+// The cache is thread-safe: each entry is built exactly once under a
+// per-entry std::call_once, so concurrent workers missing on the same key
+// neither duplicate the build nor serialize unrelated builds behind one
+// mutex. A builder that throws leaves the entry unbuilt (the next lookup
+// retries and rethrows), matching cold-path error semantics.
+#ifndef DLB_CAMPAIGN_GRAPH_CACHE_HPP
+#define DLB_CAMPAIGN_GRAPH_CACHE_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "graph/graph.hpp"
+
+namespace dlb::campaign {
+
+class graph_cache {
+public:
+    /// Resolves `family` with the exact inputs build_topology would get for
+    /// a scenario with master seed `scenario_seed`, building on first use.
+    /// The returned graph is immutable and shared; hold the shared_ptr for
+    /// as long as engines reference it.
+    std::shared_ptr<const graph> get(const std::string& family,
+                                     std::int64_t nodes, double param,
+                                     std::uint64_t scenario_seed);
+
+    /// Cached lambda (second eigenvalue) lookup: computes via `compute` on
+    /// first use of `key`, returns the stored value afterwards. `key` must
+    /// encode every input of the computation (see lambda_cache_key in
+    /// campaign_executor.cpp).
+    double lambda(const std::string& key,
+                  const std::function<double()>& compute);
+
+    struct cache_stats {
+        std::int64_t graph_hits = 0;
+        std::int64_t graph_misses = 0;
+        std::int64_t lambda_hits = 0;
+        std::int64_t lambda_misses = 0;
+    };
+    cache_stats stats() const;
+
+private:
+    struct graph_slot {
+        std::once_flag once;
+        std::shared_ptr<const graph> built;
+    };
+    struct lambda_slot {
+        std::once_flag once;
+        double value = 0.0;
+    };
+
+    using graph_key = std::tuple<std::string, std::int64_t, double, std::uint64_t>;
+
+    mutable std::mutex mutex_;
+    std::map<graph_key, std::shared_ptr<graph_slot>> graphs_;
+    std::map<std::string, std::shared_ptr<lambda_slot>> lambdas_;
+    std::atomic<std::int64_t> graph_hits_{0};
+    std::atomic<std::int64_t> graph_misses_{0};
+    std::atomic<std::int64_t> lambda_hits_{0};
+    std::atomic<std::int64_t> lambda_misses_{0};
+};
+
+} // namespace dlb::campaign
+
+#endif // DLB_CAMPAIGN_GRAPH_CACHE_HPP

@@ -40,70 +40,121 @@ std::uint64_t topology_seed(std::uint64_t scenario_seed)
     return mix64(scenario_seed, 0x67726170); // "grap" substream tag
 }
 
+namespace {
+
+// The single source of truth for topology families: names, whether the
+// construction consumes the seed (which decides graph-cache sharing across
+// the seed axis), and the builders. Adding a family means adding one row
+// here — topology_names / topology_uses_seed / build_topology all read it.
+struct topology_family {
+    const char* name;
+    bool uses_seed;
+    graph (*build)(std::int64_t nodes, double param, std::uint64_t seed);
+};
+
+const topology_family kTopologyFamilies[] = {
+    {"torus", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         const node_id side = square_side(nodes, 3);
+         return make_torus_2d(side, side);
+     }},
+    {"grid", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         const node_id side = square_side(nodes, 2);
+         return make_grid_2d(side, side);
+     }},
+    {"hypercube", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         const auto dimension = static_cast<int>(std::max<std::int64_t>(
+             1, std::llround(std::log2(static_cast<double>(
+                    std::max<std::int64_t>(nodes, 2))))));
+         if (dimension > 26)
+             throw std::invalid_argument("topology hypercube: dimension " +
+                                         std::to_string(dimension) +
+                                         " too large");
+         return make_hypercube(dimension);
+     }},
+    {"cycle", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         return make_cycle(checked_node_count("cycle", nodes, 3));
+     }},
+    {"path", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         return make_path(checked_node_count("path", nodes, 2));
+     }},
+    {"complete", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         const node_id n = checked_node_count("complete", nodes, 2);
+         if (n > 8192)
+             throw std::invalid_argument(
+                 "topology complete: O(n^2) edges; refusing n > 8192");
+         return make_complete(n);
+     }},
+    {"star", false,
+     [](std::int64_t nodes, double, std::uint64_t) {
+         return make_star(checked_node_count("star", nodes, 2));
+     }},
+    {"random_regular", true,
+     [](std::int64_t nodes, double param, std::uint64_t seed) {
+         const node_id n = checked_node_count("random_regular", nodes, 4);
+         auto degree = param > 0.5
+                           ? static_cast<std::int32_t>(std::llround(param))
+                           : std::max<std::int32_t>(
+                                 2, static_cast<std::int32_t>(std::floor(
+                                        std::log2(static_cast<double>(n)))));
+         degree = std::min<std::int32_t>(degree, n - 1);
+         if ((static_cast<std::int64_t>(n) * degree) % 2 != 0) ++degree;
+         return make_random_regular_cm(n, degree, seed);
+     }},
+    {"erdos_renyi", true,
+     [](std::int64_t nodes, double param, std::uint64_t seed) {
+         const node_id n = checked_node_count("erdos_renyi", nodes, 2);
+         const double p =
+             param > 0.0
+                 ? param
+                 : std::min(1.0, 2.0 * std::log(static_cast<double>(n)) / n);
+         return make_erdos_renyi(n, p, seed);
+     }},
+    {"rgg", true,
+     [](std::int64_t nodes, double param, std::uint64_t seed) {
+         const node_id n = checked_node_count("rgg", nodes, 2);
+         const double radius = rgg_paper_radius(n, param > 0.0 ? param : 1.0);
+         return make_random_geometric(n, radius, seed);
+     }},
+};
+
+const topology_family* find_family(const std::string& name)
+{
+    for (const auto& family : kTopologyFamilies)
+        if (name == family.name) return &family;
+    return nullptr;
+}
+
+} // namespace
+
+bool topology_uses_seed(const std::string& family)
+{
+    const topology_family* entry = find_family(family);
+    return entry == nullptr || entry->uses_seed; // unknown: conservative
+}
+
 const std::vector<std::string>& topology_names()
 {
-    static const std::vector<std::string> names = {
-        "torus",    "grid", "hypercube",      "cycle",        "path",
-        "complete", "star", "random_regular", "erdos_renyi",  "rgg",
-    };
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> out;
+        for (const auto& family : kTopologyFamilies) out.push_back(family.name);
+        return out;
+    }();
     return names;
 }
 
 graph build_topology(const std::string& family, std::int64_t nodes,
                      double param, std::uint64_t seed)
 {
-    if (family == "torus") {
-        const node_id side = square_side(nodes, 3);
-        return make_torus_2d(side, side);
-    }
-    if (family == "grid") {
-        const node_id side = square_side(nodes, 2);
-        return make_grid_2d(side, side);
-    }
-    if (family == "hypercube") {
-        const auto dimension = static_cast<int>(std::max<std::int64_t>(
-            1, std::llround(std::log2(static_cast<double>(
-                   std::max<std::int64_t>(nodes, 2))))));
-        if (dimension > 26)
-            throw std::invalid_argument("topology hypercube: dimension " +
-                                        std::to_string(dimension) + " too large");
-        return make_hypercube(dimension);
-    }
-    if (family == "cycle") return make_cycle(checked_node_count(family, nodes, 3));
-    if (family == "path") return make_path(checked_node_count(family, nodes, 2));
-    if (family == "complete") {
-        const node_id n = checked_node_count(family, nodes, 2);
-        if (n > 8192)
-            throw std::invalid_argument(
-                "topology complete: O(n^2) edges; refusing n > 8192");
-        return make_complete(n);
-    }
-    if (family == "star") return make_star(checked_node_count(family, nodes, 2));
-    if (family == "random_regular") {
-        const node_id n = checked_node_count(family, nodes, 4);
-        auto degree = param > 0.5
-                          ? static_cast<std::int32_t>(std::llround(param))
-                          : std::max<std::int32_t>(
-                                2, static_cast<std::int32_t>(std::floor(
-                                       std::log2(static_cast<double>(n)))));
-        degree = std::min<std::int32_t>(degree, n - 1);
-        if ((static_cast<std::int64_t>(n) * degree) % 2 != 0) ++degree;
-        return make_random_regular_cm(n, degree, seed);
-    }
-    if (family == "erdos_renyi") {
-        const node_id n = checked_node_count(family, nodes, 2);
-        const double p =
-            param > 0.0
-                ? param
-                : std::min(1.0, 2.0 * std::log(static_cast<double>(n)) / n);
-        return make_erdos_renyi(n, p, seed);
-    }
-    if (family == "rgg") {
-        const node_id n = checked_node_count(family, nodes, 2);
-        const double radius = rgg_paper_radius(n, param > 0.0 ? param : 1.0);
-        return make_random_geometric(n, radius, seed);
-    }
-    throw std::invalid_argument("unknown topology family '" + family + "'");
+    const topology_family* entry = find_family(family);
+    if (entry == nullptr)
+        throw std::invalid_argument("unknown topology family '" + family + "'");
+    return entry->build(nodes, param, seed);
 }
 
 const std::vector<std::string>& load_pattern_names()

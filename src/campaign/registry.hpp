@@ -29,6 +29,13 @@ const std::vector<std::string>& topology_names();
 /// rebuild a scenario's exact graph instance (e.g. to precompute lambda).
 std::uint64_t topology_seed(std::uint64_t scenario_seed);
 
+/// True when the family's construction consumes the seed (random_regular,
+/// erdos_renyi, rgg). Seed-independent families build the same graph for
+/// every seed, so caches can share one instance across a whole seed sweep.
+/// Unknown names return true (the conservative answer; build_topology is
+/// what rejects them).
+bool topology_uses_seed(const std::string& family);
+
 /// Builds the named family with approximately `nodes` nodes. Families with
 /// structural constraints round to the nearest realizable size (torus/grid:
 /// square side; hypercube: power of two). `param` is the family knob

@@ -213,6 +213,23 @@ std::vector<std::string> split_list(const std::string& csv)
     return out;
 }
 
+shard_part parse_shard(const std::string& text)
+{
+    const auto slash = text.find('/');
+    if (slash == std::string::npos || slash == 0 || slash + 1 == text.size())
+        throw std::invalid_argument("shard: expected i/N, got '" + text + "'");
+    shard_part shard;
+    shard.index = parse_int("shard index", trim(text.substr(0, slash)));
+    shard.count = parse_int("shard count", trim(text.substr(slash + 1)));
+    if (shard.count < 1)
+        throw std::invalid_argument("shard: count must be >= 1");
+    if (shard.index < 0 || shard.index >= shard.count)
+        throw std::invalid_argument("shard: index " + std::to_string(shard.index) +
+                                    " out of range for count " +
+                                    std::to_string(shard.count));
+    return shard;
+}
+
 campaign_spec parse_campaign(std::istream& in)
 {
     campaign_spec spec;

@@ -97,6 +97,17 @@ std::vector<scenario_spec> expand(const campaign_spec& spec);
 /// Splits a comma-separated sweep value list, trimming whitespace.
 std::vector<std::string> split_list(const std::string& csv);
 
+/// A process-level shard assignment: this invocation owns the scenarios
+/// whose expansion index ≡ index (mod count). 0/1 means "everything".
+struct shard_part {
+    std::int64_t index = 0;
+    std::int64_t count = 1;
+};
+
+/// Parses the "i/N" shard notation (0 <= i < N, N >= 1). Throws
+/// std::invalid_argument on malformed input.
+shard_part parse_shard(const std::string& text);
+
 /// Parses the key=value campaign file format:
 ///   # comment
 ///   name = demo

@@ -17,17 +17,27 @@ std::vector<double> to_double(std::span<const std::int64_t> values)
 } // namespace
 
 cumulative_process::cumulative_process(diffusion_config config,
-                                       std::vector<std::int64_t> initial_load,
-                                       executor* exec)
-    : continuous_(std::move(config), to_double(initial_load), exec),
+                                       std::span<const std::int64_t> initial_load,
+                                       executor* exec, engine_scratch* scratch)
+    : continuous_(std::move(config), to_double(initial_load), exec, scratch),
       network_(continuous_.config().network),
       exec_(exec != nullptr ? exec : &default_executor()),
-      load_(std::move(initial_load))
+      scratch_(scratch)
 {
     const auto half_edges = static_cast<std::size_t>(network_->num_half_edges());
-    cumulative_continuous_.assign(half_edges, 0.0);
-    cumulative_discrete_.assign(half_edges, 0);
+    load_ = scratch_int(scratch_, initial_load.size());
+    std::copy(initial_load.begin(), initial_load.end(), load_.begin());
+    cumulative_continuous_ = scratch_real(scratch_, half_edges);
+    cumulative_discrete_ = scratch_int(scratch_, half_edges);
     initial_total_ = std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+cumulative_process::~cumulative_process()
+{
+    if (scratch_ == nullptr) return;
+    scratch_->release(std::move(load_));
+    scratch_->release(std::move(cumulative_continuous_));
+    scratch_->release(std::move(cumulative_discrete_));
 }
 
 void cumulative_process::set_scheme(scheme_params scheme)

@@ -21,9 +21,17 @@ namespace dlb {
 
 class cumulative_process {
 public:
+    /// A non-null `scratch` lends this engine and its internal continuous
+    /// twin their working arrays (returned on destruction); results are
+    /// byte-identical with or without it.
     cumulative_process(diffusion_config config,
-                       std::vector<std::int64_t> initial_load,
-                       executor* exec = nullptr);
+                       std::span<const std::int64_t> initial_load,
+                       executor* exec = nullptr,
+                       engine_scratch* scratch = nullptr);
+    ~cumulative_process();
+
+    cumulative_process(const cumulative_process&) = delete;
+    cumulative_process& operator=(const cumulative_process&) = delete;
 
     void step();
     void run(std::int64_t count);
@@ -61,9 +69,10 @@ private:
     continuous_process continuous_;
     const graph* network_;
     executor* exec_;
-    std::vector<std::int64_t> load_;
-    std::vector<double> cumulative_continuous_;   // per half-edge
-    std::vector<std::int64_t> cumulative_discrete_; // per half-edge
+    engine_scratch* scratch_;
+    aligned_vector<std::int64_t> load_;
+    aligned_vector<double> cumulative_continuous_;   // per half-edge
+    aligned_vector<std::int64_t> cumulative_discrete_; // per half-edge
     std::int64_t round_ = 0;
     std::int64_t initial_total_ = 0;
     std::int64_t external_total_ = 0;

@@ -37,18 +37,31 @@ void validate_config(const diffusion_config& config, std::size_t load_size)
 } // namespace
 
 continuous_process::continuous_process(diffusion_config config,
-                                       std::vector<double> initial_load,
-                                       executor* exec)
+                                       std::span<const double> initial_load,
+                                       executor* exec, engine_scratch* scratch)
     : config_(std::move(config)),
       exec_(exec != nullptr ? exec : &default_executor()),
-      load_(std::move(initial_load))
+      scratch_(scratch)
 {
-    validate_config(config_, load_.size());
-    load_over_speed_.resize(load_.size());
-    flows_.assign(static_cast<std::size_t>(config_.network->num_half_edges()), 0.0);
-    previous_flows_.assign(flows_.size(), 0.0);
+    validate_config(config_, initial_load.size());
+    const auto half_edges =
+        static_cast<std::size_t>(config_.network->num_half_edges());
+    load_ = scratch_real(scratch_, initial_load.size());
+    std::copy(initial_load.begin(), initial_load.end(), load_.begin());
+    load_over_speed_ = scratch_real(scratch_, load_.size());
+    flows_ = scratch_real(scratch_, half_edges);
+    previous_flows_ = scratch_real(scratch_, half_edges);
     beta_state_.reset(config_.scheme);
     initial_total_ = std::accumulate(load_.begin(), load_.end(), 0.0);
+}
+
+continuous_process::~continuous_process()
+{
+    if (scratch_ == nullptr) return;
+    scratch_->release(std::move(load_));
+    scratch_->release(std::move(load_over_speed_));
+    scratch_->release(std::move(flows_));
+    scratch_->release(std::move(previous_flows_));
 }
 
 void continuous_process::set_scheme(scheme_params scheme)
@@ -134,25 +147,38 @@ void continuous_process::run(std::int64_t count)
 }
 
 discrete_process::discrete_process(diffusion_config config,
-                                   std::vector<std::int64_t> initial_load,
+                                   std::span<const std::int64_t> initial_load,
                                    rounding_kind rounding, std::uint64_t seed,
-                                   negative_load_policy policy, executor* exec)
+                                   negative_load_policy policy, executor* exec,
+                                   engine_scratch* scratch)
     : config_(std::move(config)),
       exec_(exec != nullptr ? exec : &default_executor()),
+      scratch_(scratch),
       rounding_(rounding),
       seed_(seed),
-      policy_(policy),
-      load_(std::move(initial_load))
+      policy_(policy)
 {
-    validate_config(config_, load_.size());
-    load_over_speed_.resize(load_.size());
+    validate_config(config_, initial_load.size());
     const auto half_edges =
         static_cast<std::size_t>(config_.network->num_half_edges());
-    scheduled_.assign(half_edges, 0.0);
-    flows_.assign(half_edges, 0);
-    previous_flows_int_.assign(half_edges, 0);
+    load_ = scratch_int(scratch_, initial_load.size());
+    std::copy(initial_load.begin(), initial_load.end(), load_.begin());
+    load_over_speed_ = scratch_real(scratch_, load_.size());
+    scheduled_ = scratch_real(scratch_, half_edges);
+    flows_ = scratch_int(scratch_, half_edges);
+    previous_flows_int_ = scratch_int(scratch_, half_edges);
     beta_state_.reset(config_.scheme);
     initial_total_ = std::accumulate(load_.begin(), load_.end(), std::int64_t{0});
+}
+
+discrete_process::~discrete_process()
+{
+    if (scratch_ == nullptr) return;
+    scratch_->release(std::move(load_));
+    scratch_->release(std::move(load_over_speed_));
+    scratch_->release(std::move(scheduled_));
+    scratch_->release(std::move(flows_));
+    scratch_->release(std::move(previous_flows_int_));
 }
 
 void discrete_process::set_scheme(scheme_params scheme)

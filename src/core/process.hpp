@@ -21,6 +21,7 @@
 #include "core/executor.hpp"
 #include "core/rounding.hpp"
 #include "core/scheme.hpp"
+#include "core/scratch.hpp"
 #include "core/speeds.hpp"
 #include "graph/graph.hpp"
 
@@ -52,9 +53,17 @@ enum class negative_load_policy {
 class continuous_process {
 public:
     /// `initial_load` has one entry per node. Throws std::invalid_argument
-    /// on config/shape errors.
-    continuous_process(diffusion_config config, std::vector<double> initial_load,
-                       executor* exec = nullptr);
+    /// on config/shape errors. A non-null `scratch` lends the engine its
+    /// working arrays (returned on destruction); results are byte-identical
+    /// with or without it.
+    continuous_process(diffusion_config config,
+                       std::span<const double> initial_load,
+                       executor* exec = nullptr,
+                       engine_scratch* scratch = nullptr);
+    ~continuous_process();
+
+    continuous_process(const continuous_process&) = delete;
+    continuous_process& operator=(const continuous_process&) = delete;
 
     /// Advances one synchronous round.
     void step();
@@ -88,10 +97,11 @@ public:
 private:
     diffusion_config config_;
     executor* exec_;
-    std::vector<double> load_;
-    std::vector<double> load_over_speed_;
-    std::vector<double> flows_;
-    std::vector<double> previous_flows_;
+    engine_scratch* scratch_;
+    aligned_vector<double> load_;
+    aligned_vector<double> load_over_speed_;
+    aligned_vector<double> flows_;
+    aligned_vector<double> previous_flows_;
     std::int64_t round_ = 0;
     std::int64_t rounds_in_scheme_ = 0;
     scheme_beta_state beta_state_; // O(1) per-round relaxation factor
@@ -102,10 +112,18 @@ private:
 
 class discrete_process {
 public:
-    discrete_process(diffusion_config config, std::vector<std::int64_t> initial_load,
+    /// A non-null `scratch` lends the engine its working arrays (returned
+    /// on destruction); results are byte-identical with or without it.
+    discrete_process(diffusion_config config,
+                     std::span<const std::int64_t> initial_load,
                      rounding_kind rounding, std::uint64_t seed,
                      negative_load_policy policy = negative_load_policy::allow,
-                     executor* exec = nullptr);
+                     executor* exec = nullptr,
+                     engine_scratch* scratch = nullptr);
+    ~discrete_process();
+
+    discrete_process(const discrete_process&) = delete;
+    discrete_process& operator=(const discrete_process&) = delete;
 
     void step();
     void run(std::int64_t count);
@@ -151,14 +169,15 @@ public:
 private:
     diffusion_config config_;
     executor* exec_;
+    engine_scratch* scratch_;
     rounding_kind rounding_;
     std::uint64_t seed_;
     negative_load_policy policy_;
-    std::vector<std::int64_t> load_;
-    std::vector<double> load_over_speed_;
-    std::vector<double> scheduled_;
-    std::vector<std::int64_t> flows_;
-    std::vector<std::int64_t> previous_flows_int_;
+    aligned_vector<std::int64_t> load_;
+    aligned_vector<double> load_over_speed_;
+    aligned_vector<double> scheduled_;
+    aligned_vector<std::int64_t> flows_;
+    aligned_vector<std::int64_t> previous_flows_int_;
     std::int64_t round_ = 0;
     std::int64_t rounds_in_scheme_ = 0;
     scheme_beta_state beta_state_; // O(1) per-round relaxation factor

@@ -41,10 +41,12 @@
 #include "core/process.hpp"
 #include "core/rounding.hpp"
 #include "core/scheme.hpp"
+#include "core/scratch.hpp"
 #include "core/second_order_matrix.hpp"
 #include "core/speeds.hpp"
 
 #include "campaign/campaign_executor.hpp"
+#include "campaign/graph_cache.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"

@@ -129,10 +129,12 @@ experiment_outcome run_experiment_with_final_load(
     switch (config.process) {
     case process_kind::discrete: {
         discrete_process engine(config.diffusion, initial_load, config.rounding,
-                                config.seed, config.policy, config.exec);
+                                config.seed, config.policy, config.exec,
+                                config.scratch);
         std::optional<continuous_process> twin;
         if (config.run_continuous_twin)
-            twin.emplace(config.diffusion, to_continuous(initial_load), config.exec);
+            twin.emplace(config.diffusion, to_continuous(initial_load),
+                         config.exec, config.scratch);
         outcome.series =
             run_loop(engine, config, twin ? &*twin : nullptr);
         outcome.final_load.assign(engine.load().begin(), engine.load().end());
@@ -140,14 +142,15 @@ experiment_outcome run_experiment_with_final_load(
     }
     case process_kind::continuous: {
         continuous_process engine(config.diffusion, to_continuous(initial_load),
-                                  config.exec);
+                                  config.exec, config.scratch);
         outcome.series = run_loop(engine, config, nullptr);
         outcome.final_load_continuous.assign(engine.load().begin(),
                                              engine.load().end());
         break;
     }
     case process_kind::cumulative: {
-        cumulative_process engine(config.diffusion, initial_load, config.exec);
+        cumulative_process engine(config.diffusion, initial_load, config.exec,
+                                  config.scratch);
         outcome.series = run_loop(engine, config, nullptr);
         outcome.final_load.assign(engine.load().begin(), engine.load().end());
         break;

@@ -66,6 +66,11 @@ struct experiment_config {
     workload_hook* workload = nullptr;
 
     executor* exec = nullptr; // nullptr: serial
+
+    /// Optional per-worker buffer pool lent to the engines (campaign sweeps
+    /// reuse one pool across consecutive scenarios on a worker). Results
+    /// are byte-identical with or without it. Must outlive the run.
+    engine_scratch* scratch = nullptr;
 };
 
 /// Runs the experiment from `initial_load`. The graph referenced by

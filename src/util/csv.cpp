@@ -13,6 +13,41 @@ std::string format_double(double value)
     return std::string(buf, ptr);
 }
 
+std::vector<std::string> parse_csv_line(std::string_view line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::size_t i = 0;
+    for (;;) {
+        cell.clear();
+        if (i < line.size() && line[i] == '"') {
+            ++i; // opening quote
+            for (;;) {
+                if (i >= line.size())
+                    throw std::invalid_argument("csv: unterminated quoted cell");
+                if (line[i] == '"') {
+                    if (i + 1 < line.size() && line[i + 1] == '"') {
+                        cell.push_back('"'); // escaped quote
+                        i += 2;
+                        continue;
+                    }
+                    ++i; // closing quote
+                    break;
+                }
+                cell.push_back(line[i++]);
+            }
+            if (i < line.size() && line[i] != ',')
+                throw std::invalid_argument("csv: text after closing quote");
+        } else {
+            while (i < line.size() && line[i] != ',') cell.push_back(line[i++]);
+        }
+        cells.push_back(cell);
+        if (i >= line.size()) break;
+        ++i; // the comma
+    }
+    return cells;
+}
+
 std::string csv_writer::escape(std::string_view cell)
 {
     const bool needs_quoting =

@@ -42,6 +42,14 @@ private:
 /// Formats a double with enough digits to round-trip.
 std::string format_double(double value);
 
+/// Splits one CSV record into cells, undoing RFC 4180 quoting (the inverse
+/// of csv_writer::escape applied per cell). `line` must be a single record
+/// without its trailing newline; embedded newlines inside quoted cells are
+/// not supported (the campaign reports never produce them). Throws
+/// std::invalid_argument on unterminated quotes or text after a closing
+/// quote.
+std::vector<std::string> parse_csv_line(std::string_view line);
+
 } // namespace dlb
 
 #endif // DLB_UTIL_CSV_HPP

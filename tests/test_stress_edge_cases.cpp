@@ -71,7 +71,7 @@ TEST(EdgeCases, TwoNodeHeterogeneous)
     const auto speeds = speed_profile::from_vector({1.0, 3.0});
     diffusion_config config{&g, make_alpha(g, alpha_policy::max_degree_plus_one),
                             speeds, fos_scheme()};
-    continuous_process proc(config, {100.0, 0.0});
+    continuous_process proc(config, std::vector<double>{100.0, 0.0});
     proc.run(2000);
     EXPECT_NEAR(proc.load()[0], 25.0, 1e-6);
     EXPECT_NEAR(proc.load()[1], 75.0, 1e-6);

@@ -71,6 +71,45 @@ TEST(FormatDouble, RoundTrips)
     }
 }
 
+TEST(ParseCsvLine, SplitsAndUnquotes)
+{
+    const auto plain = parse_csv_line("a,b,c");
+    ASSERT_EQ(plain.size(), 3u);
+    EXPECT_EQ(plain[0], "a");
+    EXPECT_EQ(plain[2], "c");
+
+    const auto empties = parse_csv_line("a,,c,");
+    ASSERT_EQ(empties.size(), 4u);
+    EXPECT_EQ(empties[1], "");
+    EXPECT_EQ(empties[3], "");
+
+    const auto quoted = parse_csv_line("\"with,comma\",\"with\"\"quote\",plain");
+    ASSERT_EQ(quoted.size(), 3u);
+    EXPECT_EQ(quoted[0], "with,comma");
+    EXPECT_EQ(quoted[1], "with\"quote");
+    EXPECT_EQ(quoted[2], "plain");
+
+    ASSERT_EQ(parse_csv_line("").size(), 1u); // one empty cell
+}
+
+TEST(ParseCsvLine, InvertsEscapeExactly)
+{
+    const std::vector<std::string> cells = {"plain", "with,comma",
+                                            "with\"quote", "", "1.5"};
+    std::string line;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0) line += ",";
+        line += csv_writer::escape(cells[i]);
+    }
+    EXPECT_EQ(parse_csv_line(line), cells);
+}
+
+TEST(ParseCsvLine, RejectsMalformedQuoting)
+{
+    EXPECT_THROW(parse_csv_line("\"unterminated"), std::invalid_argument);
+    EXPECT_THROW(parse_csv_line("\"closed\"trailing"), std::invalid_argument);
+}
+
 cli_args make_args(std::initializer_list<const char*> argv)
 {
     std::vector<const char*> args(argv);
