@@ -49,6 +49,23 @@ void bm_discrete_step_sos(benchmark::State& state)
 }
 BENCHMARK(bm_discrete_step_sos)->Arg(64)->Arg(128)->Arg(256);
 
+/// Whole discrete SOS step under the v2 RNG stream format — the
+/// engine-level view of the v2 rounding-kernel speedup.
+void bm_discrete_step_sos_v2(benchmark::State& state)
+{
+    const graph& g = torus_for(state.range(0));
+    const double beta = beta_opt(torus_2d_lambda(
+        static_cast<node_id>(state.range(0)), static_cast<node_id>(state.range(0))));
+    discrete_process proc(make_config(g, sos_scheme(beta)),
+                          point_load(g.num_nodes(), 0, g.num_nodes() * 1000LL),
+                          rounding_kind::randomized, 1,
+                          negative_load_policy::allow, nullptr, nullptr,
+                          rng_version::v2);
+    for (auto _ : state) proc.step();
+    state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(bm_discrete_step_sos_v2)->Arg(256);
+
 void bm_continuous_step_sos(benchmark::State& state)
 {
     const graph& g = torus_for(state.range(0));
@@ -150,6 +167,20 @@ void bm_round_flows_randomized_owner(benchmark::State& state)
 }
 BENCHMARK(bm_round_flows_randomized_owner)->Arg(256);
 
+/// The v2 stream format (stateless counter-based draws): the speedup over
+/// bm_round_flows_randomized_owner is the versioned-format dividend the
+/// ROADMAP "randomized-rounding serial floor" item predicted (~1.3x).
+void bm_round_flows_randomized_owner_v2(benchmark::State& state)
+{
+    kernel_fixture fx(state.range(0));
+    std::int64_t round = 0;
+    for (auto _ : state)
+        round_flows_randomized_owner(fx.g, fx.scheduled, 3, round++, fx.flows,
+                                     default_executor(), rng_version::v2);
+    state.SetItemsProcessed(state.iterations() * fx.g.num_edges());
+}
+BENCHMARK(bm_round_flows_randomized_owner_v2)->Arg(256);
+
 /// The full pre-refactor round pipeline (two-sided kernel, owner+mirror
 /// rounding, separate apply / min-scan / int->double conversion sweeps),
 /// for an in-binary apples-to-apples baseline of the engine step.
@@ -194,7 +225,8 @@ void bm_discrete_step_sos_reference(benchmark::State& state)
 }
 BENCHMARK(bm_discrete_step_sos_reference)->Arg(256);
 
-void bm_rounding(benchmark::State& state, rounding_kind kind)
+void bm_rounding(benchmark::State& state, rounding_kind kind,
+                 rng_version version = rng_version::v1)
 {
     const graph& g = torus_for(128);
     std::vector<double> scheduled(static_cast<std::size_t>(g.num_half_edges()));
@@ -208,13 +240,18 @@ void bm_rounding(benchmark::State& state, rounding_kind kind)
     std::vector<std::int64_t> out(scheduled.size());
     std::int64_t round = 0;
     for (auto _ : state)
-        round_flows(g, kind, scheduled, 3, round++, out, default_executor());
+        round_flows(g, kind, scheduled, 3, round++, out, default_executor(),
+                    version);
     state.SetItemsProcessed(state.iterations() * g.num_edges());
 }
 BENCHMARK_CAPTURE(bm_rounding, randomized, rounding_kind::randomized);
+BENCHMARK_CAPTURE(bm_rounding, randomized_v2, rounding_kind::randomized,
+                  rng_version::v2);
 BENCHMARK_CAPTURE(bm_rounding, floor, rounding_kind::floor);
 BENCHMARK_CAPTURE(bm_rounding, nearest, rounding_kind::nearest);
 BENCHMARK_CAPTURE(bm_rounding, bernoulli, rounding_kind::bernoulli_edge);
+BENCHMARK_CAPTURE(bm_rounding, bernoulli_v2, rounding_kind::bernoulli_edge,
+                  rng_version::v2);
 
 void bm_step_threads(benchmark::State& state)
 {

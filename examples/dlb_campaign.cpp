@@ -38,6 +38,12 @@ void print_usage(std::ostream& out)
            "  --<field> VALUE        set a base scenario field\n"
            "  --sweep.<field> A,B,C  sweep a field over a value list\n"
            "  --seeds N              sweep seed over base..base+N-1\n"
+           "  --rng-version 1|2      versioned RNG stream format (alias of\n"
+           "                         --rng_version): 1 = xoshiro streams\n"
+           "                         (default, bit-identical to pre-version\n"
+           "                         builds), 2 = counter-based draws (the\n"
+           "                         faster format). Shards must agree:\n"
+           "                         --merge rejects mixed-version reports\n"
            "  --shard I/N            run only scenarios with index = I mod N\n"
            "                         (rows keep global indices; merge with\n"
            "                         --merge for the full report)\n"
@@ -123,6 +129,7 @@ int main(int argc, char** argv)
                                        "shard",   "merge",  "threads",
                                        "engine-threads", "no-graph-cache",
                                        "no-scratch-pool", "record-every",
+                                       "rng-version", "sweep.rng-version",
                                        "json",    "csv",    "series-dir",
                                        "timing",  "quiet",  "dry-run",
                                        "list",    "help"};
@@ -140,6 +147,19 @@ int main(int argc, char** argv)
                 spec.axes[field] = values;
             }
         }
+        // Dashed aliases for the rng_version field (flag convention).
+        if (args.has("rng-version"))
+            campaign::set_field(spec.base, "rng_version",
+                                args.get_string("rng-version", ""));
+        if (args.has("sweep.rng-version")) {
+            const auto values =
+                campaign::split_list(args.get_string("sweep.rng-version", ""));
+            if (values.empty())
+                throw std::invalid_argument(
+                    "empty sweep list for --sweep.rng-version");
+            spec.axes["rng_version"] = values;
+        }
+
         for (const auto& name : args.option_names()) {
             if (known.count(name) == 0)
                 throw std::invalid_argument("unknown option --" + name +

@@ -82,6 +82,16 @@ negative_load_policy resolve_policy(const scenario_spec& spec)
     throw std::invalid_argument("unknown policy '" + spec.policy + "'");
 }
 
+// set_field validates eagerly, but programmatic specs can hold anything;
+// re-validate at resolution like every other field.
+rng_version resolve_rng_version(const scenario_spec& spec)
+{
+    if (spec.rng_version == 1) return rng_version::v1;
+    if (spec.rng_version == 2) return rng_version::v2;
+    throw std::invalid_argument("rng_version must be 1 or 2, got " +
+                                std::to_string(spec.rng_version));
+}
+
 // Every input of compute_lambda(g, alpha, speeds), encoded: the exact graph
 // identity (cache key), the alpha policy (gamma only when it is read), and
 // the speed profile (its knobs and derived seed only when non-uniform). Two
@@ -185,22 +195,31 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
             throw std::invalid_argument("unknown scheme '" + spec.scheme + "'");
         }
 
+        // The versioned stream format reaches every randomized consumer:
+        // the load pattern, the workload model, and the engine's rounding.
+        // Topology construction and speed assignment stay format-independent
+        // by design, so graphs and lambdas are shared across a
+        // sweep.rng_version axis.
+        const rng_version rng = resolve_rng_version(spec);
+
         const auto initial =
             build_initial_load(spec.load_pattern, g.num_nodes(),
-                               spec.tokens_per_node, mix64(spec.seed, kLoadStream));
+                               spec.tokens_per_node, mix64(spec.seed, kLoadStream),
+                               rng);
         result.initial_total =
             std::accumulate(initial.begin(), initial.end(), std::int64_t{0});
 
         const auto workload = make_workload(
             {spec.workload, spec.workload_rate, spec.workload_amount,
              spec.workload_period},
-            g.num_nodes(), mix64(spec.seed, kWorkloadStream));
+            g.num_nodes(), mix64(spec.seed, kWorkloadStream), rng);
 
         experiment_config config;
         config.diffusion = {&g, alpha, speeds, scheme};
         config.process = resolve_process(spec);
         config.rounding = resolve_rounding(spec);
         config.seed = spec.seed;
+        config.rng = rng;
         config.policy = resolve_policy(spec);
         config.rounds = spec.rounds;
         config.record_every = record_every;

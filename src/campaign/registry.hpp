@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/rng.hpp"
 
 namespace dlb::campaign {
 
@@ -56,10 +57,13 @@ const std::vector<std::string>& load_pattern_names();
 ///   bimodal            — a random half of the nodes holds all load
 ///   adversarial_corner — all load on the ~sqrt(n) lowest-index nodes (a
 ///                        corner patch in row-major grid/torus layouts)
+/// `version` selects the stream format for the randomized patterns
+/// (random, bimodal); the deterministic patterns ignore it.
 std::vector<std::int64_t> build_initial_load(const std::string& pattern,
                                              node_id n,
                                              std::int64_t tokens_per_node,
-                                             std::uint64_t seed);
+                                             std::uint64_t seed,
+                                             rng_version version = default_rng_version);
 
 } // namespace dlb::campaign
 

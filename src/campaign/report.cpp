@@ -356,13 +356,10 @@ scenario_result merge_row(const std::vector<std::string>& cells,
     r.spec = expected;
     r.index = merge_int(context + " index", cells[0]);
     r.label = cells[1];
-    if (r.label != scenario_label(expected))
-        throw std::runtime_error("merge: " + context + ": label '" + r.label +
-                                 "' does not match this campaign's '" +
-                                 scenario_label(expected) +
-                                 "'; the shard was written by a different "
-                                 "campaign definition or report version");
 
+    // Field-by-field first, so a precise mismatch (e.g. a shard run with a
+    // different rng_version) is named; the label check then catches
+    // report-format drift the spec columns cannot.
     const auto& fields = field_names();
     for (std::size_t f = 0; f < fields.size(); ++f) {
         const std::string& cell = cells[2 + f];
@@ -373,6 +370,12 @@ scenario_result merge_row(const std::vector<std::string>& cells,
                 get_field(expected, fields[f]) +
                 "'); every shard must run the same campaign definition");
     }
+    if (r.label != scenario_label(expected))
+        throw std::runtime_error("merge: " + context + ": label '" + r.label +
+                                 "' does not match this campaign's '" +
+                                 scenario_label(expected) +
+                                 "'; the shard was written by a different "
+                                 "campaign definition or report version");
 
     const std::size_t m = 2 + fields.size(); // first metric column
     const std::string& error = cells[m + kMetricCount];

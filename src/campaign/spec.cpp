@@ -71,7 +71,7 @@ const std::vector<std::string>& field_names()
         "policy",        "switch",          "switch_value",
         "load",          "tokens_per_node", "workload",
         "workload_rate", "workload_amount", "workload_period",
-        "seed",          "rounds",
+        "rng_version",   "seed",            "rounds",
     };
     return names;
 }
@@ -102,7 +102,15 @@ void set_field(scenario_spec& spec, const std::string& key,
         spec.workload_amount = parse_int(key, value);
     else if (key == "workload_period")
         spec.workload_period = parse_int(key, value);
-    else if (key == "seed") spec.seed = parse_uint(key, value);
+    else if (key == "rng_version") {
+        const std::int64_t parsed = parse_int(key, value);
+        if (parsed != 1 && parsed != 2)
+            throw std::invalid_argument(
+                "spec: rng_version must be 1 (xoshiro streams, the default) "
+                "or 2 (counter-based draws), got '" +
+                value + "'");
+        spec.rng_version = parsed;
+    } else if (key == "seed") spec.seed = parse_uint(key, value);
     else if (key == "rounds") spec.rounds = parse_int(key, value);
     else
         throw std::invalid_argument("spec: unknown field '" + key + "'");
@@ -131,6 +139,7 @@ std::string get_field(const scenario_spec& spec, const std::string& key)
     if (key == "workload_rate") return format_double(spec.workload_rate);
     if (key == "workload_amount") return std::to_string(spec.workload_amount);
     if (key == "workload_period") return std::to_string(spec.workload_period);
+    if (key == "rng_version") return std::to_string(spec.rng_version);
     if (key == "seed") return std::to_string(spec.seed);
     if (key == "rounds") return std::to_string(spec.rounds);
     throw std::invalid_argument("spec: unknown field '" + key + "'");
@@ -144,6 +153,7 @@ std::string scenario_label(const scenario_spec& spec)
     if (spec.load_pattern != "point") label += "-" + spec.load_pattern;
     if (spec.workload != "static") label += "-" + spec.workload;
     if (spec.switch_mode != "never") label += "-sw_" + spec.switch_mode;
+    if (spec.rng_version != 1) label += "-rng" + std::to_string(spec.rng_version);
     label += "-s" + std::to_string(spec.seed);
     return label;
 }

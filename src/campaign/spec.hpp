@@ -59,6 +59,12 @@ struct scenario_spec {
     std::int64_t workload_amount = 0; // burst: tokens per burst
     std::int64_t workload_period = 0; // burst: rounds between bursts
 
+    /// Versioned RNG stream format (util/rng.hpp): 1 = per-(node, round)
+    /// xoshiro streams (the pinned default, bit-identical to pre-version
+    /// builds), 2 = stateless counter-based draws (the faster format).
+    /// Only 1 and 2 are accepted; set_field validates eagerly.
+    std::int64_t rng_version = 1;
+
     std::uint64_t seed = 1;
     std::int64_t rounds = 1000;
 };

@@ -150,12 +150,13 @@ discrete_process::discrete_process(diffusion_config config,
                                    std::span<const std::int64_t> initial_load,
                                    rounding_kind rounding, std::uint64_t seed,
                                    negative_load_policy policy, executor* exec,
-                                   engine_scratch* scratch)
+                                   engine_scratch* scratch, rng_version rng)
     : config_(std::move(config)),
       exec_(exec != nullptr ? exec : &default_executor()),
       scratch_(scratch),
       rounding_(rounding),
       seed_(seed),
+      rng_(rng),
       policy_(policy)
 {
     validate_config(config_, initial_load.size());
@@ -237,9 +238,10 @@ void discrete_process::step()
     // no-op re-read of the mirrored value.
     if (rounding_ == rounding_kind::randomized)
         round_flows_randomized_owner(g, scheduled_, seed_, round_, flows_,
-                                     *exec_);
+                                     *exec_, rng_);
     else
-        round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_);
+        round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_,
+                    rng_);
 
     if (policy_ == negative_load_policy::prevent) {
         // Detect and clip over-committed nodes in parallel: each node owns

@@ -114,12 +114,16 @@ class discrete_process {
 public:
     /// A non-null `scratch` lends the engine its working arrays (returned
     /// on destruction); results are byte-identical with or without it.
+    /// `rng` selects the versioned stream format the rounding draws use
+    /// (util/rng.hpp): v1 is the pinned default, v2 the counter-based
+    /// format.
     discrete_process(diffusion_config config,
                      std::span<const std::int64_t> initial_load,
                      rounding_kind rounding, std::uint64_t seed,
                      negative_load_policy policy = negative_load_policy::allow,
                      executor* exec = nullptr,
-                     engine_scratch* scratch = nullptr);
+                     engine_scratch* scratch = nullptr,
+                     rng_version rng = default_rng_version);
     ~discrete_process();
 
     discrete_process(const discrete_process&) = delete;
@@ -137,6 +141,7 @@ public:
     const diffusion_config& config() const noexcept { return config_; }
     rounding_kind rounding() const noexcept { return rounding_; }
     std::uint64_t seed() const noexcept { return seed_; }
+    rng_version rng() const noexcept { return rng_; }
 
     /// Exact token conservation modulo external injection:
     /// total_load() == initial_total() + external_total() always
@@ -172,6 +177,7 @@ private:
     engine_scratch* scratch_;
     rounding_kind rounding_;
     std::uint64_t seed_;
+    rng_version rng_;
     negative_load_policy policy_;
     aligned_vector<std::int64_t> load_;
     aligned_vector<double> load_over_speed_;

@@ -37,13 +37,8 @@ std::vector<std::int64_t> random_load(node_id n, std::int64_t total,
 std::vector<std::int64_t> uniform_range_load(node_id n, std::int64_t low,
                                              std::int64_t high, std::uint64_t seed)
 {
-    if (low > high) throw std::invalid_argument("uniform_range_load: low > high");
-    std::vector<std::int64_t> load(static_cast<std::size_t>(n));
     xoshiro256ss rng{mix64(seed, 0x4a11u)};
-    const auto width = static_cast<std::uint64_t>(high - low + 1);
-    for (auto& value : load)
-        value = low + static_cast<std::int64_t>(rng.next_below(width));
-    return load;
+    return uniform_range_load(n, low, high, rng);
 }
 
 std::vector<std::int64_t> proportional_load(const std::vector<double>& speeds,

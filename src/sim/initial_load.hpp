@@ -4,6 +4,7 @@
 #define DLB_SIM_INITIAL_LOAD_HPP
 
 #include <cstdint>
+#include <stdexcept>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -22,9 +23,24 @@ std::vector<std::int64_t> balanced_load(node_id n, std::int64_t per_node);
 std::vector<std::int64_t> random_load(node_id n, std::int64_t total,
                                       std::uint64_t seed);
 
-/// Each node draws uniformly from [low, high] (independent).
+/// Each node draws uniformly from [low, high] (independent). The seeded
+/// overload uses the historical xoshiro stream (tag 0x4a11); the generic
+/// overload draws from any generator with next_below — the single
+/// implementation both RNG stream formats share.
 std::vector<std::int64_t> uniform_range_load(node_id n, std::int64_t low,
                                              std::int64_t high, std::uint64_t seed);
+
+template <class Rng>
+std::vector<std::int64_t> uniform_range_load(node_id n, std::int64_t low,
+                                             std::int64_t high, Rng& rng)
+{
+    if (low > high) throw std::invalid_argument("uniform_range_load: low > high");
+    std::vector<std::int64_t> load(static_cast<std::size_t>(n));
+    const auto width = static_cast<std::uint64_t>(high - low + 1);
+    for (auto& value : load)
+        value = low + static_cast<std::int64_t>(rng.next_below(width));
+    return load;
+}
 
 /// Integer load proportional to speeds with remainder spread left-to-right;
 /// the discrete heterogeneous fixed point for tests.

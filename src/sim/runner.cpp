@@ -130,7 +130,7 @@ experiment_outcome run_experiment_with_final_load(
     case process_kind::discrete: {
         discrete_process engine(config.diffusion, initial_load, config.rounding,
                                 config.seed, config.policy, config.exec,
-                                config.scratch);
+                                config.scratch, config.rng);
         std::optional<continuous_process> twin;
         if (config.run_continuous_twin)
             twin.emplace(config.diffusion, to_continuous(initial_load),

@@ -45,6 +45,11 @@ struct experiment_config {
     process_kind process = process_kind::discrete;
     rounding_kind rounding = rounding_kind::randomized;
     std::uint64_t seed = 1;
+    /// Versioned RNG stream format for the discrete engine's rounding
+    /// draws (util/rng.hpp): v1 (default, pinned bit-exact) or v2
+    /// (counter-based). Deterministic roundings and the continuous /
+    /// cumulative engines ignore it.
+    rng_version rng = default_rng_version;
     negative_load_policy policy = negative_load_policy::allow;
 
     std::int64_t rounds = 1000;

@@ -22,6 +22,7 @@
 #include <cstring>
 #include <vector>
 
+#include "campaign/workload.hpp"
 #include "core/alpha.hpp"
 #include "core/beta.hpp"
 #include "core/diffusion_matrix.hpp"
@@ -256,9 +257,10 @@ struct determinism_grid_case {
     process_kind process;
     rounding_kind rounding;
     negative_load_policy policy;
+    rng_version rng;
 };
 
-TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutors)
+TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutorsBothRngVersions)
 {
     const graph g = make_torus_2d(12, 12);
     const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
@@ -266,14 +268,15 @@ TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutors)
     const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 100LL);
 
     std::vector<determinism_grid_case> grid;
-    for (const auto rounding :
-         {rounding_kind::randomized, rounding_kind::floor, rounding_kind::nearest,
-          rounding_kind::bernoulli_edge})
-        for (const auto policy :
-             {negative_load_policy::allow, negative_load_policy::prevent})
-            grid.push_back({process_kind::discrete, rounding, policy});
+    for (const auto rng : {rng_version::v1, rng_version::v2})
+        for (const auto rounding :
+             {rounding_kind::randomized, rounding_kind::floor,
+              rounding_kind::nearest, rounding_kind::bernoulli_edge})
+            for (const auto policy :
+                 {negative_load_policy::allow, negative_load_policy::prevent})
+                grid.push_back({process_kind::discrete, rounding, policy, rng});
     grid.push_back({process_kind::continuous, rounding_kind::randomized,
-                    negative_load_policy::allow});
+                    negative_load_policy::allow, rng_version::v1});
 
     for (const auto& cell : grid) {
         experiment_config config;
@@ -281,6 +284,7 @@ TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutors)
         config.process = cell.process;
         config.rounding = cell.rounding;
         config.policy = cell.policy;
+        config.rng = cell.rng;
         config.seed = 77;
         config.rounds = 300;
         config.record_every = 7;
@@ -289,7 +293,8 @@ TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutors)
             std::string(cell.process == process_kind::continuous ? "continuous"
                                                                  : "discrete") +
             "/" + std::string(to_string(cell.rounding)) + "/" +
-            (cell.policy == negative_load_policy::prevent ? "prevent" : "allow");
+            (cell.policy == negative_load_policy::prevent ? "prevent" : "allow") +
+            "/rng" + std::string(to_string(cell.rng));
 
         config.exec = nullptr;
         const time_series serial = run_experiment(config, initial);
@@ -299,6 +304,90 @@ TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutors)
             const time_series pooled = run_experiment(config, initial);
             expect_series_identical(serial, pooled,
                                     label + " workers=" + std::to_string(workers));
+        }
+    }
+}
+
+TEST(GoldenDeterminism, RngVersionsProduceDistinctButValidTrajectories)
+{
+    // The two formats are different streams (trajectories diverge) but the
+    // same scheme: conservation holds exactly under both.
+    const graph g = make_torus_2d(8, 8);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    diffusion_config config{&g, alpha, speeds, sos_scheme(1.7)};
+    const auto initial = point_load(g.num_nodes(), 0, 64000);
+
+    discrete_process v1_engine(config, initial, rounding_kind::randomized, 5,
+                               negative_load_policy::allow, nullptr, nullptr,
+                               rng_version::v1);
+    discrete_process v2_engine(config, initial, rounding_kind::randomized, 5,
+                               negative_load_policy::allow, nullptr, nullptr,
+                               rng_version::v2);
+    bool diverged = false;
+    for (int t = 0; t < 50; ++t) {
+        v1_engine.step();
+        v2_engine.step();
+        ASSERT_TRUE(v1_engine.verify_conservation()) << t;
+        ASSERT_TRUE(v2_engine.verify_conservation()) << t;
+        if (!bytes_equal(v1_engine.load(),
+                         std::vector<std::int64_t>(v2_engine.load().begin(),
+                                                   v2_engine.load().end())))
+            diverged = true;
+    }
+    EXPECT_TRUE(diverged) << "v2 unexpectedly reproduced the v1 stream";
+}
+
+TEST(GoldenDeterminism, V2ConservationAcrossEnginesRoundingsWorkloads)
+{
+    // Conservation-modulo-injection under rng_version = 2, across the
+    // discrete/cumulative engines x all four roundings x all three dynamic
+    // workload models (the workload draws also come from the v2 streams).
+    const graph g = make_torus_2d(10, 10);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::uniform(g.num_nodes());
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 50LL);
+
+    const campaign::workload_spec workloads[] = {
+        {"poisson", 6.0, 0, 0},
+        {"burst", 0.0, 40, 11},
+        {"drain", 3.0, 0, 0},
+    };
+
+    for (const auto process : {process_kind::discrete, process_kind::cumulative}) {
+        for (const auto rounding :
+             {rounding_kind::randomized, rounding_kind::floor,
+              rounding_kind::nearest, rounding_kind::bernoulli_edge}) {
+            if (process == process_kind::cumulative &&
+                rounding != rounding_kind::randomized)
+                continue; // the cumulative baseline has a fixed rounding
+            for (const auto& wl : workloads) {
+                const auto hook = campaign::make_workload(
+                    wl, g.num_nodes(), mix64(31, 0x776b6c64), rng_version::v2);
+
+                experiment_config config;
+                config.diffusion = {&g, alpha, speeds, fos_scheme()};
+                config.process = process;
+                config.rounding = rounding;
+                config.rng = rng_version::v2;
+                config.seed = 31;
+                config.rounds = 120;
+                config.record_every = 10;
+                config.workload = hook.get();
+
+                const time_series series = run_experiment(config, initial);
+                const std::string label =
+                    std::string(process == process_kind::cumulative
+                                    ? "cumulative"
+                                    : "discrete") +
+                    "/" + std::string(to_string(rounding)) + "/" + wl.kind;
+                // Exact token conservation modulo the injected/drained
+                // totals, at every recorded round.
+                for (const double error : series.total_load_error)
+                    EXPECT_EQ(error, 0.0) << label;
+                if (wl.kind != "drain") EXPECT_GT(series.total_injected, 0) << label;
+                if (wl.kind == "drain") EXPECT_GT(series.total_drained, 0) << label;
+            }
         }
     }
 }
