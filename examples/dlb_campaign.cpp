@@ -11,9 +11,12 @@
 //     --sweep.scheme fos,sos --sweep.rounding randomized,floor --seeds 2 \
 //     --threads 8 --json campaign.json --csv campaign.csv
 //
-//   # the same campaign split across two processes/machines, then merged
-//   dlb_campaign --spec big.spec --shard 0/2 --csv s0.csv
-//   dlb_campaign --spec big.spec --shard 1/2 --csv s1.csv
+//   # the same campaign split across two processes/machines (cost-balanced,
+//   # sharing one lambda sidecar), then merged
+//   dlb_campaign --spec big.spec --shard 0/2 --shard-balance cost \
+//     --lambda-cache lam.cache --csv s0.csv
+//   dlb_campaign --spec big.spec --shard 1/2 --shard-balance cost \
+//     --lambda-cache lam.cache --csv s1.csv
 //   dlb_campaign --spec big.spec --merge s0.csv,s1.csv \
 //     --csv full.csv --json full.json
 //
@@ -44,9 +47,23 @@ void print_usage(std::ostream& out)
            "                         builds), 2 = counter-based draws (the\n"
            "                         faster format). Shards must agree:\n"
            "                         --merge rejects mixed-version reports\n"
-           "  --shard I/N            run only scenarios with index = I mod N\n"
-           "                         (rows keep global indices; merge with\n"
-           "                         --merge for the full report)\n"
+           "  --shard I/N            run only this invocation's share of the\n"
+           "                         scenarios (rows keep global indices;\n"
+           "                         merge with --merge for the full report)\n"
+           "  --shard-balance MODE   how --shard splits the expansion:\n"
+           "                         round-robin (index = I mod N, the\n"
+           "                         default) or cost (greedy LPT over the\n"
+           "                         per-scenario cost model — balances\n"
+           "                         wall clock on heterogeneous sweeps).\n"
+           "                         Every shard must use the same mode\n"
+           "  --lambda-cache FILE    persistent lambda sidecar: loaded\n"
+           "                         before the run, rewritten atomically\n"
+           "                         after it, shared across invocations\n"
+           "                         and shard processes so each distinct\n"
+           "                         topology pays Lanczos once per\n"
+           "                         machine. Missing/corrupt files\n"
+           "                         degrade to recompute; requires the\n"
+           "                         graph cache\n"
            "  --merge A.csv,B.csv    merge shard CSV reports written with the\n"
            "                         same campaign definition; runs nothing,\n"
            "                         writes --csv/--json byte-identical to an\n"
@@ -72,6 +89,7 @@ void print_usage(std::ostream& out)
            "  --series-dir DIR       write each scenario's per-round series CSV\n"
            "  --timing               include wall-clock fields in reports\n"
            "                         (breaks byte-determinism and --merge)\n"
+           "                         and print cache hit/miss counters\n"
            "  --quiet                suppress per-scenario progress on stderr\n"
            "  --dry-run              expand and list scenarios, run nothing\n"
            "  --list                 print registered topologies, load\n"
@@ -126,7 +144,8 @@ int main(int argc, char** argv)
         // Known option names: harness flags plus every scenario field in
         // base and sweep form. Anything else is a typo worth failing on.
         std::set<std::string> known = {"spec",    "name",   "seeds",
-                                       "shard",   "merge",  "threads",
+                                       "shard",   "shard-balance", "merge",
+                                       "lambda-cache", "threads",
                                        "engine-threads", "no-graph-cache",
                                        "no-scratch-pool", "record-every",
                                        "rng-version", "sweep.rng-version",
@@ -192,6 +211,10 @@ int main(int argc, char** argv)
         if (args.has("merge")) {
             if (args.has("shard"))
                 throw std::invalid_argument("--merge and --shard are exclusive");
+            if (args.has("lambda-cache"))
+                throw std::invalid_argument(
+                    "--merge runs nothing, so --lambda-cache has no effect "
+                    "there; pass it to the shard runs instead");
             if (timing)
                 throw std::invalid_argument(
                     "--merge works on timing-free reports (drop --timing)");
@@ -213,18 +236,38 @@ int main(int argc, char** argv)
             options.series_dir = args.get_string("series-dir", "");
             options.reuse_graphs = !args.get_bool("no-graph-cache", false);
             options.pool_scratch = !args.get_bool("no-scratch-pool", false);
+            options.lambda_cache_path = args.get_string("lambda-cache", "");
+            if (args.has("lambda-cache") && options.lambda_cache_path.empty())
+                throw std::invalid_argument(
+                    "--lambda-cache needs a file path (a bare flag would "
+                    "silently run without the sidecar)");
             if (args.has("shard")) {
                 const auto shard =
                     campaign::parse_shard(args.get_string("shard", ""));
                 options.shard_index = shard.index;
                 options.shard_count = shard.count;
             }
+            options.balance = campaign::parse_shard_balance(
+                args.get_string("shard-balance", "round-robin"));
             if (!args.get_bool("quiet", false)) options.progress = &std::cerr;
 
             result = campaign::run_campaign(spec, options);
         }
 
+        // A failed sidecar save degrades later runs to recompute; say so
+        // even under --quiet (which only suppresses per-scenario progress).
+        if (!result.lambda_sidecar_error.empty())
+            std::cerr << "dlb_campaign: warning: lambda sidecar not saved: "
+                      << result.lambda_sidecar_error << "\n";
+
         campaign::print_campaign_summary(std::cout, result);
+        if (timing && !args.has("merge"))
+            std::cout << "cache: graph hits=" << result.cache.graph_hits
+                      << " misses=" << result.cache.graph_misses
+                      << " | lambda hits=" << result.cache.lambda_hits
+                      << " misses=" << result.cache.lambda_misses
+                      << " sidecar_loaded=" << result.lambda_sidecar_loaded
+                      << "\n";
 
         if (args.has("json")) {
             const std::string path = args.get_string("json", "");

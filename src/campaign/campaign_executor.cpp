@@ -95,11 +95,14 @@ rng_version resolve_rng_version(const scenario_spec& spec)
 // Every input of compute_lambda(g, alpha, speeds), encoded: the exact graph
 // identity (cache key), the alpha policy (gamma only when it is read), and
 // the speed profile (its knobs and derived seed only when non-uniform). Two
-// scenarios with equal keys get bit-identical lambdas by construction.
+// scenarios with equal keys get bit-identical lambdas by construction. The
+// key doubles as the persistent sidecar key, so it must stay stable across
+// invocations; the param is normalized like the graph key (-0.0 == 0.0).
 std::string lambda_cache_key(const scenario_spec& spec)
 {
     std::string key = spec.topology + "|" + std::to_string(spec.nodes) + "|" +
-                      format_double(spec.topology_param) + "|";
+                      format_double(normalized_param(spec.topology_param)) +
+                      "|";
     key += topology_uses_seed(spec.topology)
                ? std::to_string(topology_seed(spec.seed))
                : std::string("-");
@@ -145,6 +148,11 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
     try {
         if (spec.rounds < 0)
             throw std::invalid_argument("scenario: negative round count");
+        // set_field rejects this eagerly, but programmatic specs can hold
+        // anything, and a NaN param would corrupt cache-key ordering.
+        if (!std::isfinite(spec.topology_param))
+            throw std::invalid_argument(
+                "scenario: topology_param must be finite");
 
         // Resolve the topology: shared from the cache when one is given
         // (identical build inputs, so bit-identical graphs), cold-built
@@ -287,18 +295,19 @@ campaign_result detail_run(const campaign_spec& spec,
         throw std::invalid_argument("campaign: shard count must be >= 1");
     if (options.shard_index < 0 || options.shard_index >= options.shard_count)
         throw std::invalid_argument("campaign: shard index out of range");
+    if (!options.lambda_cache_path.empty() && !options.reuse_graphs)
+        throw std::invalid_argument(
+            "campaign: the lambda sidecar is a tier of the graph cache "
+            "(drop --no-graph-cache to use --lambda-cache)");
 
-    // Process-level sharding: round-robin over the expansion order, so
-    // every shard gets a representative mix even when one sweep axis is
-    // much more expensive than the others. Selected scenarios keep their
-    // global indices; merge_shard_csv reassembles the full report.
-    std::vector<std::int64_t> selected;
-    selected.reserve(scenarios.size() /
-                         static_cast<std::size_t>(options.shard_count) +
-                     1);
-    for (std::size_t i = static_cast<std::size_t>(options.shard_index);
-         i < scenarios.size(); i += static_cast<std::size_t>(options.shard_count))
-        selected.push_back(static_cast<std::int64_t>(i));
+    // Process-level sharding: the partitioner (cost_model.hpp) splits the
+    // expansion either round-robin or cost-balanced; both are pure
+    // functions of the spec, so independently launched shard processes
+    // agree on the assignment. Selected scenarios keep their global
+    // indices; merge_shard_csv reassembles the full report.
+    const std::vector<std::int64_t> selected = partition_scenarios(
+        scenarios, options.shard_count,
+        options.balance)[static_cast<std::size_t>(options.shard_index)];
     const auto count = static_cast<std::int64_t>(selected.size());
 
     const std::int64_t record_every =
@@ -315,9 +324,13 @@ campaign_result detail_run(const campaign_spec& spec,
     std::atomic<std::int64_t> next{0};
     std::mutex progress_mutex;
 
-    // Shared topology/lambda resolution across the whole campaign.
+    // Shared topology/lambda resolution across the whole campaign, with an
+    // optional persistent lambda tier loaded before any scenario runs.
     graph_cache cache;
     graph_cache* const cache_ptr = options.reuse_graphs ? &cache : nullptr;
+    if (!options.lambda_cache_path.empty())
+        result.lambda_sidecar_loaded = static_cast<std::int64_t>(
+            cache.load_lambda_sidecar(options.lambda_cache_path));
 
     // In-engine parallelism: one shared kernel pool handed to every
     // scenario. The pool's parallel_for is a single-caller rendezvous, so
@@ -364,6 +377,24 @@ campaign_result detail_run(const campaign_spec& spec,
         pool.parallel_tasks(count, drain_queue);
     }
 
+    // Persist every lambda this run computed (or inherited) so the next
+    // invocation — and any co-running shard — starts warm. Best effort on
+    // top of a successful run: the sidecar is an accelerator, and a write
+    // failure must not discard completed scenario results — but it must
+    // not vanish either (result.lambda_sidecar_error lets callers warn
+    // even when the progress stream is off).
+    if (!options.lambda_cache_path.empty()) {
+        try {
+            cache.save_lambda_sidecar(options.lambda_cache_path);
+        } catch (const std::exception& failure) {
+            result.lambda_sidecar_error = failure.what();
+            if (options.progress != nullptr)
+                *options.progress << "lambda sidecar not saved: "
+                                  << failure.what() << "\n";
+        }
+    }
+
+    result.cache = cache.stats();
     result.wall_seconds = watch.seconds();
     return result;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/cost_model.hpp"
 #include "campaign/graph_cache.hpp"
 #include "campaign/spec.hpp"
 #include "core/process.hpp"
@@ -47,13 +48,29 @@ struct campaign_options {
     /// every engine allocates fresh. Reports are byte-identical either way.
     bool pool_scratch = true;
 
-    /// Process-level sharding: this invocation runs only the scenarios
-    /// whose expansion index ≡ shard_index (mod shard_count). Results keep
+    /// Process-level sharding: this invocation runs only the scenarios the
+    /// partitioner assigns to shard_index of shard_count. Results keep
     /// their global indices, so shard CSV reports merge back into a
     /// byte-identical equivalent of the unsharded run (see
     /// merge_shard_csv). Default 0/1: run everything.
     std::int64_t shard_index = 0;
     std::int64_t shard_count = 1;
+    /// How the expansion is split across shards (cost_model.hpp):
+    /// round_robin (index ≡ shard mod count, the original contract) or
+    /// cost (greedy LPT over the per-scenario cost model, tightening
+    /// multi-machine utilization on heterogeneous sweeps). Every shard of
+    /// one campaign must use the same policy — the partitions differ, and
+    /// the merge checks coverage, not assignment.
+    shard_balance balance = shard_balance::round_robin;
+
+    /// Persistent lambda cache sidecar (graph_cache::load/save_lambda_
+    /// sidecar): when non-empty, loaded into the campaign's graph cache
+    /// before any scenario runs and rewritten (atomically, merged with
+    /// concurrent updates) after the last one, so repeated invocations and
+    /// co-running shard processes pay Lanczos once per distinct topology
+    /// per machine. Requires reuse_graphs (the sidecar is a tier of that
+    /// cache); missing or corrupt files degrade to recompute.
+    std::string lambda_cache_path;
 };
 
 /// Summary of one executed scenario. When `error` is non-empty the scenario
@@ -96,6 +113,18 @@ struct campaign_result {
     campaign_spec spec;
     std::vector<scenario_result> scenarios;
     double wall_seconds = 0.0;
+    /// Resolution-cache counters for this run (all zero when the result was
+    /// assembled by merge_shard_csv or the graph cache was disabled). A
+    /// warm lambda sidecar shows up as lambda_misses == 0: every lookup
+    /// was served from cache. Like wall_seconds, never part of the
+    /// byte-deterministic reports — dlb_campaign prints it under --timing.
+    graph_cache::cache_stats cache;
+    /// Entries loaded from options.lambda_cache_path (0: none/no sidecar).
+    std::int64_t lambda_sidecar_loaded = 0;
+    /// Non-empty when the end-of-run sidecar save failed (the run itself
+    /// is intact — the sidecar is an accelerator — but later runs will
+    /// recompute; callers should surface this even in quiet modes).
+    std::string lambda_sidecar_error;
 };
 
 /// Resolves and runs one scenario; never throws — failures land in

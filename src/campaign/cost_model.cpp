@@ -1,0 +1,135 @@
+#include "campaign/cost_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dlb::campaign {
+
+namespace {
+
+// Weight factors: relative per-(node, round) work of the engine loop,
+// calibrated against bench_micro_step on the reference machine (the
+// absolute scale is arbitrary — only ratios matter to the partitioner):
+//
+//   bm_discrete_step_sos / bm_discrete_step_fos   — discrete engines; FOS
+//     skips the second-order memory term (~0.9x of an SOS step).
+//   bm_continuous_step_sos                        — no rounding pass and no
+//     token walk, ~0.55x of the discrete step.
+//   bm_cumulative_step                            — the PODC'12 matching
+//     baseline does per-round matching work on top, ~1.4x.
+//   bm_rounding/{randomized,floor,nearest,bernoulli} — the rounding sweep:
+//     floor/nearest are one fused branch-free pass (~0.6x of randomized's
+//     owner pass + token walk); bernoulli_edge sits just under randomized.
+//   bm_discrete_step_sos_v2 vs bm_discrete_step_sos — the v2 counter-based
+//     streams take ~1/1.15 of a whole randomized SOS step.
+double process_weight(const scenario_spec& spec)
+{
+    if (spec.process == "continuous") return 0.55;
+    if (spec.process == "cumulative") return 1.4;
+    return 1.0; // discrete (and anything unknown: resolution rejects later)
+}
+
+double rounding_weight(const scenario_spec& spec)
+{
+    if (spec.process != "discrete") return 1.0; // only discrete engines round
+    double weight = 1.0;
+    if (spec.rounding == "floor" || spec.rounding == "nearest") weight = 0.6;
+    else if (spec.rounding == "bernoulli_edge") weight = 0.9;
+    // The v2 stream format speeds up the randomized kernels (and the whole
+    // step that contains them); deterministic roundings don't draw.
+    if (spec.rng_version == 2 &&
+        (spec.rounding == "randomized" || spec.rounding == "bernoulli_edge"))
+        weight *= 0.87;
+    return weight;
+}
+
+double scheme_weight(const scenario_spec& spec)
+{
+    return spec.scheme == "fos" ? 0.9 : 1.0; // no second-order memory term
+}
+
+} // namespace
+
+shard_balance parse_shard_balance(const std::string& text)
+{
+    if (text == "round-robin") return shard_balance::round_robin;
+    if (text == "cost") return shard_balance::cost;
+    throw std::invalid_argument(
+        "shard-balance: expected 'round-robin' or 'cost', got '" + text + "'");
+}
+
+std::string to_string(shard_balance balance)
+{
+    return balance == shard_balance::cost ? "cost" : "round-robin";
+}
+
+double scenario_cost(const scenario_spec& spec)
+{
+    const double nodes = static_cast<double>(std::max<std::int64_t>(spec.nodes, 1));
+    const double rounds =
+        static_cast<double>(std::max<std::int64_t>(spec.rounds, 0));
+    const double loop = nodes * rounds * process_weight(spec) *
+                        rounding_weight(spec) * scheme_weight(spec);
+    // Constant floor: setup (graph resolution, load placement) never costs
+    // zero, and zero-cost scenarios would make LPT tie-breaking carry all
+    // the weight.
+    return 1.0 + loop;
+}
+
+std::vector<std::vector<std::int64_t>>
+partition_scenarios(const std::vector<scenario_spec>& scenarios,
+                    std::int64_t shard_count, shard_balance balance)
+{
+    if (shard_count < 1)
+        throw std::invalid_argument("partition: shard count must be >= 1");
+
+    std::vector<std::vector<std::int64_t>> shards(
+        static_cast<std::size_t>(shard_count));
+    const auto count = static_cast<std::int64_t>(scenarios.size());
+
+    if (balance == shard_balance::round_robin) {
+        for (std::int64_t i = 0; i < count; ++i)
+            shards[static_cast<std::size_t>(i % shard_count)].push_back(i);
+        return shards;
+    }
+
+    // Greedy LPT: heaviest scenario first onto the currently cheapest
+    // shard. Sort ties break on ascending index and load ties on the lowest
+    // shard id, so the partition is a pure function of the spec — every
+    // independently launched shard process computes the same assignment.
+    std::vector<std::int64_t> order(static_cast<std::size_t>(count));
+    std::iota(order.begin(), order.end(), std::int64_t{0});
+    std::vector<double> costs(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i)
+        costs[static_cast<std::size_t>(i)] =
+            scenario_cost(scenarios[static_cast<std::size_t>(i)]);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::int64_t a, std::int64_t b) {
+                         return costs[static_cast<std::size_t>(a)] >
+                                costs[static_cast<std::size_t>(b)];
+                     });
+
+    std::vector<double> load(static_cast<std::size_t>(shard_count), 0.0);
+    for (const std::int64_t i : order) {
+        std::size_t lightest = 0;
+        for (std::size_t s = 1; s < load.size(); ++s)
+            if (load[s] < load[lightest]) lightest = s;
+        shards[lightest].push_back(i);
+        load[lightest] += costs[static_cast<std::size_t>(i)];
+    }
+    // Each shard runs (and reports progress) in global expansion order.
+    for (auto& shard : shards) std::sort(shard.begin(), shard.end());
+    return shards;
+}
+
+double shard_cost(const std::vector<scenario_spec>& scenarios,
+                  const std::vector<std::int64_t>& indices)
+{
+    double total = 0.0;
+    for (const std::int64_t i : indices)
+        total += scenario_cost(scenarios.at(static_cast<std::size_t>(i)));
+    return total;
+}
+
+} // namespace dlb::campaign

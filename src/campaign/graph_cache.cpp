@@ -1,13 +1,85 @@
 #include "campaign/graph_cache.hpp"
 
+#include <charconv>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include <filesystem>
+
+#include <unistd.h> // getpid, for collision-free sidecar temp names
+
 #include "campaign/registry.hpp"
+#include "util/csv.hpp" // format_double
 
 namespace dlb::campaign {
+
+namespace {
+
+// Sidecar file format, one entry per line:
+//
+//   # dlb lambda sidecar v1
+//   <lambda_cache_key>\t<format_double(lambda)>
+//
+// Keys are '|'-joined registry names and round-trip-formatted numbers —
+// never tabs or newlines — so the last tab on a line splits key from
+// value unambiguously. Comment lines start with '#'.
+constexpr const char* kSidecarHeader = "# dlb lambda sidecar v1";
+
+/// A value is plausible exactly when it is a finite second eigenvalue of a
+/// diffusion matrix (|lambda| <= 1). Anything else on disk is corruption —
+/// better to recompute than to poison beta_opt with garbage.
+bool plausible_lambda(double value)
+{
+    return std::isfinite(value) && value >= -1.0 && value <= 1.0;
+}
+
+/// Best-effort parse of a sidecar stream: well-formed entries land in
+/// `out`, everything else (bad header, truncated lines, malformed or
+/// out-of-range values) is skipped silently. Tolerance is the contract —
+/// the sidecar is a cache, and a damaged cache must cost recomputation,
+/// never an error or a wrong lambda.
+void parse_sidecar(std::istream& in, std::map<std::string, double>& out)
+{
+    std::string line;
+    if (!std::getline(in, line) || line != kSidecarHeader) return;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        const auto tab = line.rfind('\t');
+        if (tab == std::string::npos || tab == 0) continue;
+        const std::string key = line.substr(0, tab);
+        const char* first = line.data() + tab + 1;
+        const char* last = line.data() + line.size();
+        double value = 0.0;
+        const auto [end, ec] = std::from_chars(first, last, value);
+        if (ec != std::errc{} || end != last || !plausible_lambda(value))
+            continue;
+        out.emplace(key, value);
+    }
+}
+
+std::map<std::string, double> read_sidecar(const std::string& path)
+{
+    std::map<std::string, double> entries;
+    std::ifstream in(path);
+    if (in) parse_sidecar(in, entries);
+    return entries;
+}
+
+} // namespace
 
 std::shared_ptr<const graph> graph_cache::get(const std::string& family,
                                               std::int64_t nodes, double param,
                                               std::uint64_t scenario_seed)
 {
+    // A NaN key has no place in an ordered map (NaN compares false against
+    // everything, breaking strict weak ordering), and no family accepts it;
+    // -0.0 folds onto +0.0 so the two spellings share one entry.
+    if (!std::isfinite(param))
+        throw std::invalid_argument(
+            "graph cache: topology_param must be finite");
+    param = normalized_param(param);
+
     // Seed-independent families share one entry across the whole seed axis.
     const std::uint64_t effective_seed =
         topology_uses_seed(family) ? topology_seed(scenario_seed) : 0;
@@ -47,6 +119,7 @@ double graph_cache::lambda(const std::string& key,
     bool computed_here = false;
     std::call_once(slot->once, [&] {
         slot->value = compute();
+        slot->ready.store(true, std::memory_order_release);
         computed_here = true;
     });
     if (computed_here)
@@ -54,6 +127,78 @@ double graph_cache::lambda(const std::string& key,
     else
         lambda_hits_.fetch_add(1, std::memory_order_relaxed);
     return slot->value;
+}
+
+std::size_t graph_cache::load_lambda_sidecar(const std::string& path)
+{
+    const auto entries = read_sidecar(path);
+
+    std::size_t loaded = 0;
+    for (const auto& [key, value] : entries) {
+        std::shared_ptr<lambda_slot> slot;
+        {
+            const std::scoped_lock lock(mutex_);
+            auto& entry = lambdas_[key];
+            if (entry == nullptr) entry = std::make_shared<lambda_slot>();
+            slot = entry;
+        }
+        // Satisfy the slot's call_once with the loaded value; if the slot
+        // was already computed (or loaded), the loader lambda never runs
+        // and the in-cache value wins.
+        std::call_once(slot->once, [&] {
+            slot->value = value;
+            slot->ready.store(true, std::memory_order_release);
+            ++loaded;
+        });
+    }
+    return loaded;
+}
+
+std::size_t graph_cache::save_lambda_sidecar(const std::string& path) const
+{
+    // Merge with the file's current (well-formed) contents so concurrent
+    // shard processes accumulate entries instead of clobbering each other;
+    // this cache's own values win on key collisions (equal keys encode
+    // equal computations, so collisions carry equal values anyway).
+    std::map<std::string, double> entries = read_sidecar(path);
+    {
+        const std::scoped_lock lock(mutex_);
+        for (const auto& [key, slot] : lambdas_)
+            if (slot->ready.load(std::memory_order_acquire))
+                entries[key] = slot->value;
+    }
+
+    // Temp + rename: the destination path always holds either the old or
+    // the new complete file, never a partial write. The pid suffix keeps
+    // concurrently-saving shard processes off each other's temp files, and
+    // the process-wide counter keeps concurrent saves within one process
+    // (two run_campaign calls sharing a path) off each other's too.
+    static std::atomic<std::uint64_t> save_serial{0};
+    const std::string temp =
+        path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
+        std::to_string(save_serial.fetch_add(1, std::memory_order_relaxed));
+    {
+        std::ofstream out(temp, std::ios::trunc);
+        if (!out)
+            throw std::runtime_error("lambda sidecar: cannot write " + temp);
+        out << kSidecarHeader << "\n";
+        for (const auto& [key, value] : entries)
+            out << key << "\t" << format_double(value) << "\n";
+        out.flush();
+        if (!out) {
+            out.close();
+            std::filesystem::remove(temp);
+            throw std::runtime_error("lambda sidecar: write failed for " + temp);
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        std::filesystem::remove(temp);
+        throw std::runtime_error("lambda sidecar: cannot rename " + temp +
+                                 " to " + path + ": " + ec.message());
+    }
+    return entries.size();
 }
 
 graph_cache::cache_stats graph_cache::stats() const

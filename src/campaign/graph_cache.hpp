@@ -17,10 +17,21 @@
 // neither duplicate the build nor serialize unrelated builds behind one
 // mutex. A builder that throws leaves the entry unbuilt (the next lookup
 // retries and rethrows), matching cold-path error semantics.
+//
+// Lambda entries additionally have a persistent tier: a sidecar file
+// mapping lambda_cache_key strings to values, loaded at campaign start and
+// written atomically (temp + rename) at campaign end, so each distinct
+// topology pays Lanczos exactly once per machine — across shard processes
+// and repeated invocations, not just within one campaign. Loads tolerate
+// missing, corrupt and concurrently-rewritten files (malformed lines are
+// skipped, never mis-read into wrong lambdas); saves merge with whatever
+// the file holds at write time, so concurrent shards accumulate instead of
+// clobbering each other.
 #ifndef DLB_CAMPAIGN_GRAPH_CACHE_HPP
 #define DLB_CAMPAIGN_GRAPH_CACHE_HPP
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -32,6 +43,16 @@
 #include "graph/graph.hpp"
 
 namespace dlb::campaign {
+
+/// Normalizes a topology family parameter before it enters a cache key
+/// (the graph key and the lambda_cache_key string): collapses -0.0 onto
+/// +0.0 so the two spellings of zero share one entry. Non-finite params
+/// are rejected by the cache (a NaN key would corrupt map ordering) and by
+/// spec validation before that.
+inline double normalized_param(double param)
+{
+    return param == 0.0 ? 0.0 : param;
+}
 
 class graph_cache {
 public:
@@ -50,6 +71,23 @@ public:
     double lambda(const std::string& key,
                   const std::function<double()>& compute);
 
+    /// Loads a lambda sidecar file into the cache; subsequent lambda()
+    /// calls on loaded keys count as hits and never run `compute`. Returns
+    /// the number of entries loaded. A missing file loads nothing; corrupt
+    /// or truncated lines are skipped (the affected keys simply recompute),
+    /// and values that are not finite eigenvalue-range numbers are treated
+    /// as corrupt — a damaged file degrades to recompute, never to wrong
+    /// lambdas. Loaded entries never override values already in the cache.
+    std::size_t load_lambda_sidecar(const std::string& path);
+
+    /// Writes every computed/loaded lambda entry to the sidecar file,
+    /// merged with whatever well-formed entries the file holds at write
+    /// time (entries this cache owns win), via temp file + atomic rename —
+    /// a reader or concurrent loader never observes a partial file. Returns
+    /// the number of entries written. Throws std::runtime_error when the
+    /// temp file cannot be created or renamed.
+    std::size_t save_lambda_sidecar(const std::string& path) const;
+
     struct cache_stats {
         std::int64_t graph_hits = 0;
         std::int64_t graph_misses = 0;
@@ -65,6 +103,10 @@ private:
     };
     struct lambda_slot {
         std::once_flag once;
+        std::atomic<bool> ready{false}; // set after `value` is stored, so
+                                        // the sidecar writer can snapshot
+                                        // completed entries without racing
+                                        // in-flight call_once computes
         double value = 0.0;
     };
 

@@ -445,9 +445,13 @@ campaign_result merge_shard_csv(const campaign_spec& spec,
                     std::to_string(index) + " outside the campaign's " +
                     std::to_string(expanded.size()) + " scenarios");
             if (seen[static_cast<std::size_t>(index)])
-                throw std::runtime_error("merge: " + context + ": scenario " +
-                                         std::to_string(index) +
-                                         " appears in more than one shard");
+                throw std::runtime_error(
+                    "merge: " + context + ": scenario " +
+                    std::to_string(index) +
+                    " appears in more than one shard (duplicate shard file, "
+                    "or shards run with different --shard-balance modes — "
+                    "the round-robin and cost partitions assign different "
+                    "scenarios to each shard)");
             seen[static_cast<std::size_t>(index)] = true;
             scenario_result row =
                 merge_row(cells, expanded[static_cast<std::size_t>(index)],
@@ -475,7 +479,9 @@ campaign_result merge_shard_csv(const campaign_spec& spec,
             "merge: " + std::to_string(missing) + " of " +
             std::to_string(expanded.size()) +
             " scenarios missing from the given shards (check the shard "
-            "list covers 0/N .. N-1/N exactly once)");
+            "list covers 0/N .. N-1/N exactly once, and that every shard "
+            "ran with the same --shard-balance mode — the round-robin and "
+            "cost partitions assign different scenarios to each shard)");
 
     return result;
 }

@@ -1,11 +1,13 @@
 #include "campaign/spec.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp" // format_double
+#include "util/parse.hpp"
 
 namespace dlb::campaign {
 
@@ -19,44 +21,21 @@ std::string trim(const std::string& text)
     return text.substr(begin, end - begin + 1);
 }
 
+// Shared full-token parsers (util/parse.hpp) with spec-flavored context.
+
 std::int64_t parse_int(const std::string& key, const std::string& value)
 {
-    try {
-        std::size_t used = 0;
-        const std::int64_t parsed = std::stoll(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception&) {
-        throw std::invalid_argument("spec: bad integer for " + key + ": '" +
-                                    value + "'");
-    }
+    return parse_full_int64(value, "spec: bad integer for " + key);
 }
 
 std::uint64_t parse_uint(const std::string& key, const std::string& value)
 {
-    try {
-        if (!value.empty() && value[0] == '-') throw std::invalid_argument(value);
-        std::size_t used = 0;
-        const std::uint64_t parsed = std::stoull(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception&) {
-        throw std::invalid_argument("spec: bad unsigned for " + key + ": '" +
-                                    value + "'");
-    }
+    return parse_full_uint64(value, "spec: bad unsigned for " + key);
 }
 
 double parse_double(const std::string& key, const std::string& value)
 {
-    try {
-        std::size_t used = 0;
-        const double parsed = std::stod(value, &used);
-        if (used != value.size()) throw std::invalid_argument(value);
-        return parsed;
-    } catch (const std::exception&) {
-        throw std::invalid_argument("spec: bad number for " + key + ": '" +
-                                    value + "'");
-    }
+    return parse_full_double(value, "spec: bad number for " + key);
 }
 
 } // namespace
@@ -81,7 +60,15 @@ void set_field(scenario_spec& spec, const std::string& key,
 {
     if (key == "topology") spec.topology = value;
     else if (key == "nodes") spec.nodes = parse_int(key, value);
-    else if (key == "topology_param") spec.topology_param = parse_double(key, value);
+    else if (key == "topology_param") {
+        // Reject NaN/inf eagerly: a non-finite param corrupts the ordered
+        // graph/lambda cache keys and no topology family accepts one.
+        const double parsed = parse_double(key, value);
+        if (!std::isfinite(parsed))
+            throw std::invalid_argument(
+                "spec: topology_param must be finite, got '" + value + "'");
+        spec.topology_param = parsed;
+    }
     else if (key == "alpha") spec.alpha = value;
     else if (key == "alpha_gamma") spec.alpha_gamma = parse_double(key, value);
     else if (key == "speeds") spec.speeds = value;

@@ -103,8 +103,11 @@ std::vector<scenario_spec> expand(const campaign_spec& spec);
 /// Splits a comma-separated sweep value list, trimming whitespace.
 std::vector<std::string> split_list(const std::string& csv);
 
-/// A process-level shard assignment: this invocation owns the scenarios
-/// whose expansion index ≡ index (mod count). 0/1 means "everything".
+/// A process-level shard assignment: this invocation owns shard `index` of
+/// `count`'s share of the expansion — which scenarios that is depends on
+/// the partition policy (cost_model.hpp: round-robin index ≡ i (mod N) by
+/// default, or greedy LPT under `--shard-balance cost`). 0/1 means
+/// "everything" in every policy.
 struct shard_part {
     std::int64_t index = 0;
     std::int64_t count = 1;

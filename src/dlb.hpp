@@ -46,6 +46,7 @@
 #include "core/speeds.hpp"
 
 #include "campaign/campaign_executor.hpp"
+#include "campaign/cost_model.hpp"
 #include "campaign/graph_cache.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/report.hpp"

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace dlb {
 
 namespace {
@@ -59,11 +61,14 @@ std::string cli_args::get_string(const std::string& name,
     return it == options_.end() ? fallback : it->second;
 }
 
+// Full-token parses (util/parse.hpp): trailing garbage ("100x") is an
+// error, not a 100, and any failure names the offending flag.
+
 std::int64_t cli_args::get_int(const std::string& name, std::int64_t fallback) const
 {
     const auto it = options_.find(name);
     if (it == options_.end() || it->second.empty()) return fallback;
-    return std::stoll(it->second);
+    return parse_full_int64(it->second, "cli_args: bad integer for --" + name);
 }
 
 std::uint64_t cli_args::get_uint64(const std::string& name,
@@ -71,17 +76,15 @@ std::uint64_t cli_args::get_uint64(const std::string& name,
 {
     const auto it = options_.find(name);
     if (it == options_.end() || it->second.empty()) return fallback;
-    if (it->second[0] == '-')
-        throw std::invalid_argument("cli_args: negative value for unsigned --" +
-                                    name);
-    return std::stoull(it->second);
+    return parse_full_uint64(it->second,
+                             "cli_args: bad unsigned for --" + name);
 }
 
 double cli_args::get_double(const std::string& name, double fallback) const
 {
     const auto it = options_.find(name);
     if (it == options_.end() || it->second.empty()) return fallback;
-    return std::stod(it->second);
+    return parse_full_double(it->second, "cli_args: bad number for --" + name);
 }
 
 bool cli_args::get_bool(const std::string& name, bool fallback) const

@@ -2,6 +2,9 @@
 //
 // Supports `--flag`, `--key value` and `--key=value` forms. Unknown options
 // raise an error so typos in experiment sweeps are caught immediately.
+// Numeric getters parse the full token — `--rounds 100x` is an error, not
+// 100 — and every parse failure throws std::invalid_argument naming the
+// offending flag and value.
 #ifndef DLB_UTIL_CLI_HPP
 #define DLB_UTIL_CLI_HPP
 

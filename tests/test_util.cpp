@@ -158,5 +158,84 @@ TEST(Cli, EqualsFormBindsTightly)
     EXPECT_EQ(args.get_string("key", ""), "a=b");
 }
 
+// Numeric getters must consume the full token: `--rounds 100x` is a typo
+// to report (naming the flag), never a silent 100.
+TEST(Cli, RejectsTrailingGarbageNamingTheFlag)
+{
+    const auto args = make_args(
+        {"prog", "--rounds", "100x", "--alpha", "0.5abc", "--seed", "7seven"});
+    try {
+        args.get_int("rounds", 0);
+        FAIL() << "get_int accepted '100x'";
+    } catch (const std::invalid_argument& rejected) {
+        EXPECT_NE(std::string(rejected.what()).find("--rounds"),
+                  std::string::npos)
+            << "error should name the flag: " << rejected.what();
+        EXPECT_NE(std::string(rejected.what()).find("100x"), std::string::npos)
+            << "error should echo the value: " << rejected.what();
+    }
+    try {
+        args.get_double("alpha", 0.0);
+        FAIL() << "get_double accepted '0.5abc'";
+    } catch (const std::invalid_argument& rejected) {
+        EXPECT_NE(std::string(rejected.what()).find("--alpha"),
+                  std::string::npos)
+            << rejected.what();
+    }
+    try {
+        args.get_uint64("seed", 0);
+        FAIL() << "get_uint64 accepted '7seven'";
+    } catch (const std::invalid_argument& rejected) {
+        EXPECT_NE(std::string(rejected.what()).find("--seed"),
+                  std::string::npos)
+            << rejected.what();
+    }
+}
+
+TEST(Cli, RejectsUnparseableAndOutOfRangeNumbersNamingTheFlag)
+{
+    const auto args =
+        make_args({"prog", "--rounds", "ten", "--scale", "x", "--seed", "-1",
+                   "--big", "99999999999999999999999999"});
+    EXPECT_THROW(args.get_int("rounds", 0), std::invalid_argument);
+    EXPECT_THROW(args.get_double("scale", 0.0), std::invalid_argument);
+    // Negative for an unsigned and out-of-range both name the flag too.
+    try {
+        args.get_uint64("seed", 0);
+        FAIL() << "get_uint64 accepted '-1'";
+    } catch (const std::invalid_argument& rejected) {
+        EXPECT_NE(std::string(rejected.what()).find("--seed"),
+                  std::string::npos)
+            << rejected.what();
+    }
+    // A leading space must not smuggle a sign past the unsigned guard
+    // (std::stoull skips whitespace and would wrap ' -1' to 2^64-1).
+    const auto padded = make_args({"prog", "--seed", " -1"});
+    EXPECT_THROW(padded.get_uint64("seed", 0), std::invalid_argument);
+    try {
+        args.get_int("big", 0);
+        FAIL() << "get_int accepted an out-of-range value";
+    } catch (const std::invalid_argument& rejected) {
+        EXPECT_NE(std::string(rejected.what()).find("--big"), std::string::npos)
+            << rejected.what();
+    }
+}
+
+TEST(Cli, WellFormedNumbersStillParse)
+{
+    const auto args =
+        make_args({"prog", "--rounds", "-42", "--scale", "2.5e-3", "--seed",
+                   "18446744073709551615", "--hex-free", "007"});
+    EXPECT_EQ(args.get_int("rounds", 0), -42);
+    EXPECT_DOUBLE_EQ(args.get_double("scale", 0.0), 2.5e-3);
+    EXPECT_EQ(args.get_uint64("seed", 0), 18446744073709551615ull);
+    EXPECT_EQ(args.get_int("hex-free", 0), 7);
+    // Bare flags (empty value) still fall back rather than throw.
+    const auto bare = make_args({"prog", "--flag"});
+    EXPECT_EQ(bare.get_int("flag", 5), 5);
+    EXPECT_DOUBLE_EQ(bare.get_double("flag", 1.5), 1.5);
+    EXPECT_EQ(bare.get_uint64("flag", 9), 9u);
+}
+
 } // namespace
 } // namespace dlb
