@@ -24,8 +24,13 @@
 // --shard + --merge, and with or without graph caching / scratch pooling;
 // add --timing to include (nondeterministic) wall-clock fields.
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <optional>
 #include <set>
+#include <sstream>
+
+#include <unistd.h> // gethostname
 
 #include "dlb.hpp"
 
@@ -90,6 +95,30 @@ void print_usage(std::ostream& out)
            "  --timing               include wall-clock fields in reports\n"
            "                         (breaks byte-determinism and --merge)\n"
            "                         and print cache hit/miss counters\n"
+           "  --trace FILE           write a Chrome/Perfetto trace-event JSON\n"
+           "                         of the run's phases (graph builds,\n"
+           "                         lambda solves, per-scenario engine\n"
+           "                         phases, report writes; one track per\n"
+           "                         worker thread). Load it in\n"
+           "                         ui.perfetto.dev or about://tracing.\n"
+           "                         Out-of-band: reports stay byte-identical\n"
+           "  --metrics FILE         write aggregated counters/histograms as\n"
+           "                         JSONL (deterministic for a given run\n"
+           "                         shape), and embed a metrics object in\n"
+           "                         the --timing JSON report\n"
+           "  --progress[=SECS]      per-shard heartbeat lines on stderr\n"
+           "                         every SECS (default 10) with scenarios\n"
+           "                         done, elapsed, a cost-model ETA and the\n"
+           "                         predicted-vs-actual residual spread\n"
+           "  --manifest FILE        write a run manifest (provenance: spec\n"
+           "                         hash, args, shard assignment, build,\n"
+           "                         host). With --merge, validates the\n"
+           "                         shard manifests from --manifests and\n"
+           "                         writes the merged manifest here\n"
+           "  --manifests A,B        shard manifest files for --merge to\n"
+           "                         check consistency across (spec hash,\n"
+           "                         stride, shard count, balance mode must\n"
+           "                         all agree) before trusting the rows\n"
            "  --quiet                suppress per-scenario progress on stderr\n"
            "  --dry-run              expand and list scenarios, run nothing\n"
            "  --list                 print registered topologies, load\n"
@@ -121,6 +150,112 @@ void print_registry(std::ostream& out)
     for (const auto& name : campaign::workload_names()) out << "  " << name << "\n";
 }
 
+std::string hex64(std::uint64_t value)
+{
+    std::ostringstream out;
+    out << std::hex << std::setw(16) << std::setfill('0') << value;
+    return out.str();
+}
+
+// The provenance record one invocation (shard or whole campaign) writes via
+// --manifest. The leading fields are the ones every shard of a campaign
+// must agree on — the merged manifest checks exactly those — followed by
+// the per-shard fields (assignment, argv, build, host) that may differ.
+obs::run_manifest build_manifest(const campaign::campaign_spec& spec,
+                                 std::int64_t record_every,
+                                 std::int64_t shard_index,
+                                 std::int64_t shard_count,
+                                 campaign::shard_balance balance, int argc,
+                                 char** argv)
+{
+    obs::run_manifest manifest;
+    manifest.set("campaign", spec.name);
+    manifest.set("spec_hash", hex64(campaign::spec_hash(spec)));
+    manifest.set("scenario_count", std::to_string(spec.expected_count()));
+    manifest.set("record_every", std::to_string(record_every));
+    manifest.set("shard_count", std::to_string(shard_count));
+    manifest.set("shard_balance", campaign::to_string(balance));
+    manifest.set("rng_version",
+                 campaign::get_field(spec.base, "rng_version"));
+
+    manifest.set("shard_index", std::to_string(shard_index));
+    std::string command = "dlb_campaign";
+    for (int i = 1; i < argc; ++i) command += std::string(" ") + argv[i];
+    manifest.set("args", command);
+#ifdef __VERSION__
+    manifest.set("build", __VERSION__);
+#else
+    manifest.set("build", "unknown");
+#endif
+    char host[256] = {};
+    if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0')
+        manifest.set("host", host);
+    return manifest;
+}
+
+// The fields that define a merge-compatible shard set. shard_index is
+// deliberately absent (it must differ — coverage is checked separately).
+const std::vector<std::string> kManifestMustMatch = {
+    "campaign",     "spec_hash",     "scenario_count", "record_every",
+    "shard_count",  "shard_balance", "rng_version"};
+
+// Proves the shard manifests belong to one campaign before --merge trusts
+// the shard rows: every must-match field agrees, the set covers shard
+// indices 0..N-1 exactly once, and the spec the merge itself was given
+// hashes to the same campaign the shards ran.
+obs::run_manifest merge_and_validate_manifests(
+    const campaign::campaign_spec& spec, std::int64_t record_every,
+    const std::vector<std::string>& paths)
+{
+    std::vector<obs::run_manifest> shards;
+    shards.reserve(paths.size());
+    for (const auto& path : paths)
+        shards.push_back(obs::parse_manifest_file(path));
+
+    obs::run_manifest merged =
+        obs::merge_manifests(shards, kManifestMustMatch);
+
+    const std::string local_hash = hex64(campaign::spec_hash(spec));
+    if (merged.get("spec_hash") != local_hash)
+        throw std::runtime_error(
+            "manifest: shard manifests were produced by campaign spec_hash " +
+            merged.get("spec_hash") + " but this merge invocation's spec "
+            "hashes to " + local_hash +
+            "; merge with the same campaign definition the shards ran");
+    const std::string local_stride = std::to_string(record_every);
+    if (merged.get("record_every") != local_stride)
+        throw std::runtime_error(
+            "manifest: shards ran with record_every = " +
+            merged.get("record_every") + " but this merge resolves to " +
+            local_stride + "; pass the same --record-every");
+
+    const std::int64_t count = std::stoll(merged.get("shard_count"));
+    if (static_cast<std::int64_t>(shards.size()) != count)
+        throw std::runtime_error(
+            "manifest: " + std::to_string(shards.size()) +
+            " shard manifests given but the shards ran with shard_count = " +
+            std::to_string(count));
+    std::vector<bool> seen(static_cast<std::size_t>(count), false);
+    for (std::size_t s = 0; s < shards.size(); ++s) {
+        const std::string field = shards[s].get("shard_index");
+        std::int64_t index = -1;
+        try {
+            index = std::stoll(field);
+        } catch (const std::exception&) {
+        }
+        if (index < 0 || index >= count)
+            throw std::runtime_error("manifest: " + paths[s] +
+                                     ": shard_index '" + field +
+                                     "' outside 0.." + std::to_string(count - 1));
+        if (seen[static_cast<std::size_t>(index)])
+            throw std::runtime_error("manifest: shard_index " + field +
+                                     " appears twice (duplicate manifest for " +
+                                     paths[s] + ")");
+        seen[static_cast<std::size_t>(index)] = true;
+    }
+    return merged;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -150,7 +285,9 @@ int main(int argc, char** argv)
                                        "no-scratch-pool", "record-every",
                                        "rng-version", "sweep.rng-version",
                                        "json",    "csv",    "series-dir",
-                                       "timing",  "quiet",  "dry-run",
+                                       "timing",  "trace",  "metrics",
+                                       "progress", "manifest", "manifests",
+                                       "quiet",   "dry-run",
                                        "list",    "help"};
         for (const auto& field : campaign::field_names()) {
             known.insert(field);
@@ -207,7 +344,28 @@ int main(int argc, char** argv)
 
         const bool timing = args.get_bool("timing", false);
 
+        // Observability session: binds --trace / --metrics output for the
+        // whole run (campaign, report writes, merge). Out-of-band by
+        // construction — with or without it the CSV/JSON reports are
+        // byte-identical, which the golden determinism suite asserts.
+        std::optional<obs::session> session;
+        if (args.has("trace") || args.has("metrics")) {
+            obs::session_options obs_options;
+            obs_options.trace_path = args.get_string("trace", "");
+            if (args.has("trace") && obs_options.trace_path.empty())
+                throw std::invalid_argument("--trace needs a file path");
+            obs_options.metrics_path = args.get_string("metrics", "");
+            if (args.has("metrics") && obs_options.metrics_path.empty())
+                throw std::invalid_argument("--metrics needs a file path");
+            obs_options.collect_metrics = args.has("metrics");
+            session.emplace(obs_options);
+        }
+
+        const std::int64_t resolved_stride = campaign::resolved_record_every(
+            spec, args.get_int("record-every", 0));
+
         campaign::campaign_result result;
+        std::optional<obs::run_manifest> merged_manifest;
         if (args.has("merge")) {
             if (args.has("shard"))
                 throw std::invalid_argument("--merge and --shard are exclusive");
@@ -222,9 +380,25 @@ int main(int argc, char** argv)
                 campaign::split_list(args.get_string("merge", ""));
             if (paths.empty())
                 throw std::invalid_argument("--merge needs shard CSV paths");
+            // Shard manifests are checked before any row is trusted: a
+            // mixed set (different spec, stride, balance mode or shard
+            // count) fails here naming the differing field.
+            if (args.has("manifests")) {
+                const auto manifest_paths =
+                    campaign::split_list(args.get_string("manifests", ""));
+                if (manifest_paths.empty())
+                    throw std::invalid_argument(
+                        "--manifests needs shard manifest paths");
+                merged_manifest = merge_and_validate_manifests(
+                    spec, resolved_stride, manifest_paths);
+            }
             result = campaign::merge_shard_csv(spec, paths,
                                                args.get_int("record-every", 0));
         } else {
+            if (args.has("manifests"))
+                throw std::invalid_argument(
+                    "--manifests only applies to --merge; a shard run writes "
+                    "its own manifest with --manifest FILE");
             campaign::campaign_options options;
             const std::int64_t threads = args.get_int("threads", 0);
             const std::int64_t engine_threads = args.get_int("engine-threads", 1);
@@ -250,6 +424,16 @@ int main(int argc, char** argv)
             options.balance = campaign::parse_shard_balance(
                 args.get_string("shard-balance", "round-robin"));
             if (!args.get_bool("quiet", false)) options.progress = &std::cerr;
+            if (args.has("progress")) {
+                // Bare --progress keeps the 10 s default; --progress=SECS
+                // (or --progress SECS) overrides it.
+                const double period = args.get_double("progress", 10.0);
+                if (period <= 0.0)
+                    throw std::invalid_argument(
+                        "--progress period must be positive seconds");
+                options.heartbeat = &std::cerr;
+                options.heartbeat_seconds = period;
+            }
 
             result = campaign::run_campaign(spec, options);
         }
@@ -282,6 +466,39 @@ int main(int argc, char** argv)
             if (!out) throw std::runtime_error("cannot open " + path);
             campaign::write_csv(out, result, timing);
             std::cout << "csv -> " << path << "\n";
+        }
+
+        // Provenance record, written to its own file — never into the
+        // CSV/JSON reports, which must stay byte-identical with or without
+        // it. On --merge this is the validated merged manifest with every
+        // shard's record embedded; otherwise it describes this invocation.
+        if (args.has("manifest")) {
+            const std::string path = args.get_string("manifest", "");
+            if (path.empty())
+                throw std::invalid_argument("--manifest needs a file path");
+            obs::run_manifest manifest;
+            if (merged_manifest) {
+                manifest = *merged_manifest;
+            } else {
+                std::int64_t shard_index = 0;
+                std::int64_t shard_count = 1;
+                if (args.has("shard")) {
+                    const auto shard =
+                        campaign::parse_shard(args.get_string("shard", ""));
+                    shard_index = shard.index;
+                    shard_count = shard.count;
+                }
+                manifest = build_manifest(
+                    spec, resolved_stride, shard_index, shard_count,
+                    campaign::parse_shard_balance(
+                        args.get_string("shard-balance", "round-robin")),
+                    argc, argv);
+                if (!args.has("merge"))
+                    manifest.set("scenarios_run",
+                                 std::to_string(result.scenarios.size()));
+            }
+            obs::write_manifest_file(path, manifest);
+            std::cout << "manifest -> " << path << "\n";
         }
 
         for (const auto& r : result.scenarios)

@@ -16,6 +16,8 @@
 #include "core/alpha.hpp"
 #include "core/beta.hpp"
 #include "core/diffusion_matrix.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "sim/runner.hpp"
 #include "sim/thread_pool.hpp"
 #include "util/csv.hpp" // format_double
@@ -143,6 +145,8 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
     result.index = index;
     result.label = scenario_label(spec);
     result.record_every = record_every;
+    result.predicted_cost = scenario_cost(spec);
+    const obs::trace_span span("scenario", result.label);
     const stopwatch watch;
 
     try {
@@ -320,9 +324,26 @@ campaign_result detail_run(const campaign_spec& spec,
     if (!options.series_dir.empty())
         std::filesystem::create_directories(options.series_dir);
 
+    const obs::trace_span run_span("campaign", "run");
     const stopwatch watch;
     std::atomic<std::int64_t> next{0};
     std::mutex progress_mutex;
+
+    // Heartbeats: total predicted cost of this shard's scenarios sizes the
+    // cost-model ETA. The meter lives in an optional so it can be torn down
+    // (printing its final summary line) before the sidecar save.
+    std::optional<obs::progress_meter> meter;
+    if (options.heartbeat != nullptr) {
+        double total_cost = 0.0;
+        for (const std::int64_t i : selected)
+            total_cost += scenario_cost(scenarios[static_cast<std::size_t>(i)]);
+        obs::progress_meter::options meter_options;
+        meter_options.period_seconds = options.heartbeat_seconds;
+        meter_options.out = options.heartbeat;
+        meter_options.shard_index = options.shard_index;
+        meter_options.shard_count = options.shard_count;
+        meter.emplace(meter_options, count, total_cost);
+    }
 
     // Shared topology/lambda resolution across the whole campaign, with an
     // optional persistent lambda tier loaded before any scenario runs.
@@ -357,6 +378,11 @@ campaign_result detail_run(const campaign_spec& spec,
             result.scenarios[slot] =
                 run_scenario(scenarios[i], i, record_every, options.series_dir,
                              engine_pool.get(), cache_ptr, scratch_ptr);
+            if (meter) {
+                const auto& r = result.scenarios[slot];
+                meter->scenario_done(r.predicted_cost, r.wall_seconds,
+                                     !r.error.empty());
+            }
             if (options.progress != nullptr) {
                 const std::scoped_lock lock(progress_mutex);
                 const auto& r = result.scenarios[slot];
@@ -376,6 +402,7 @@ campaign_result detail_run(const campaign_spec& spec,
         thread_pool pool(threads);
         pool.parallel_tasks(count, drain_queue);
     }
+    meter.reset(); // final heartbeat summary, before the sidecar save
 
     // Persist every lambda this run computed (or inherited) so the next
     // invocation — and any co-running shard — starts warm. Best effort on

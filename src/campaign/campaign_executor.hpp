@@ -71,6 +71,14 @@ struct campaign_options {
     /// per machine. Requires reuse_graphs (the sidecar is a tier of that
     /// cache); missing or corrupt files degrade to recompute.
     std::string lambda_cache_path;
+
+    /// Heartbeat stream (obs/progress.hpp): when non-null, a progress_meter
+    /// prints one line per `heartbeat_seconds` with scenarios done, elapsed
+    /// time, a cost-model ETA and the predicted-vs-actual residual spread.
+    /// Pure observability — it writes only to this stream and reads only
+    /// completion counts, so reports stay byte-identical.
+    std::ostream* heartbeat = nullptr;
+    double heartbeat_seconds = 10.0;
 };
 
 /// Summary of one executed scenario. When `error` is non-empty the scenario
@@ -107,6 +115,11 @@ struct scenario_result {
     bool conservation_ok = false; // token total matches modulo injection
     double wall_seconds = 0.0;    // nondeterministic; reports omit it unless
                                   // explicitly asked (see report options)
+    /// The scheduler's scenario_cost(spec) prediction, echoed next to
+    /// wall_seconds under --timing so cost-model calibration can regress
+    /// predicted cost against measured time. Deterministic, but reported
+    /// only with the timing columns (it is diagnostic, not an outcome).
+    double predicted_cost = 0.0;
 };
 
 struct campaign_result {

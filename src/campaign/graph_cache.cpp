@@ -10,11 +10,31 @@
 #include <unistd.h> // getpid, for collision-free sidecar temp names
 
 #include "campaign/registry.hpp"
+#include "obs/obs.hpp"
 #include "util/csv.hpp" // format_double
 
 namespace dlb::campaign {
 
 namespace {
+
+// Cache hit/miss counters mirrored into the metrics registry (the local
+// atomics below stay authoritative for campaign_result's cache stats; these
+// aggregate across every cache in the process for --metrics).
+struct cache_obs {
+    obs::counter& graph_hits = obs::registry_counter("graph_cache.graph_hits");
+    obs::counter& graph_misses =
+        obs::registry_counter("graph_cache.graph_misses");
+    obs::counter& lambda_hits =
+        obs::registry_counter("graph_cache.lambda_hits");
+    obs::counter& lambda_misses =
+        obs::registry_counter("graph_cache.lambda_misses");
+};
+
+cache_obs& cache_metrics()
+{
+    static cache_obs metrics;
+    return metrics;
+}
 
 // Sidecar file format, one entry per line:
 //
@@ -94,14 +114,18 @@ std::shared_ptr<const graph> graph_cache::get(const std::string& family,
 
     bool built_here = false;
     std::call_once(slot->once, [&] {
+        const obs::trace_span span("campaign", "graph.build");
         slot->built = std::make_shared<const graph>(
             build_topology(family, nodes, param, effective_seed));
         built_here = true;
     });
-    if (built_here)
+    if (built_here) {
         graph_misses_.fetch_add(1, std::memory_order_relaxed);
-    else
+        cache_metrics().graph_misses.add(1);
+    } else {
         graph_hits_.fetch_add(1, std::memory_order_relaxed);
+        cache_metrics().graph_hits.add(1);
+    }
     return slot->built;
 }
 
@@ -118,14 +142,18 @@ double graph_cache::lambda(const std::string& key,
 
     bool computed_here = false;
     std::call_once(slot->once, [&] {
+        const obs::trace_span span("campaign", "lambda.compute");
         slot->value = compute();
         slot->ready.store(true, std::memory_order_release);
         computed_here = true;
     });
-    if (computed_here)
+    if (computed_here) {
         lambda_misses_.fetch_add(1, std::memory_order_relaxed);
-    else
+        cache_metrics().lambda_misses.add(1);
+    } else {
         lambda_hits_.fetch_add(1, std::memory_order_relaxed);
+        cache_metrics().lambda_hits.add(1);
+    }
     return slot->value;
 }
 

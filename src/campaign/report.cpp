@@ -6,6 +6,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
 
@@ -250,7 +251,42 @@ void write_scenario_json(json_writer& json, const scenario_result& r,
     json.member("total_drained", r.total_drained);
     json.member("conservation_ok", r.conservation_ok);
     json.member("record_every", r.record_every);
-    if (include_timing) json.member("wall_seconds", r.wall_seconds);
+    if (include_timing) {
+        // predicted_cost sits next to wall_seconds so cost-model
+        // calibration is a two-column regression over the timing report.
+        json.member("predicted_cost", r.predicted_cost);
+        json.member("wall_seconds", r.wall_seconds);
+    }
+    json.end_object();
+}
+
+// The aggregated metrics registry, embedded in the --timing JSON when an
+// obs session is collecting (--metrics / --trace): counters as plain
+// values, histograms as count/sum plus their nonzero power-of-two buckets.
+void write_metrics_json(json_writer& json)
+{
+    json.key("metrics");
+    json.begin_object();
+    for (const auto& metric : obs::snapshot_metrics()) {
+        json.key(metric.name);
+        if (!metric.is_histogram) {
+            json.value(metric.value);
+            continue;
+        }
+        json.begin_object();
+        json.member("count", metric.value);
+        json.member("sum", metric.sum);
+        json.key("buckets");
+        json.begin_array();
+        for (const auto& [bucket, count] : metric.buckets) {
+            json.begin_array();
+            json.value(static_cast<std::int64_t>(bucket));
+            json.value(count);
+            json.end_array();
+        }
+        json.end_array();
+        json.end_object();
+    }
     json.end_object();
 }
 
@@ -259,6 +295,7 @@ void write_scenario_json(json_writer& json, const scenario_result& r,
 void write_json(std::ostream& out, const campaign_result& result,
                 bool include_timing)
 {
+    const obs::trace_span span("report", "write_json");
     json_writer json(out);
     json.begin_object();
     json.member("name", std::string_view(result.spec.name));
@@ -298,7 +335,10 @@ void write_json(std::ostream& out, const campaign_result& result,
         write_scenario_json(json, r, include_timing);
     json.end_array();
 
-    if (include_timing) json.member("wall_seconds", result.wall_seconds);
+    if (include_timing) {
+        json.member("wall_seconds", result.wall_seconds);
+        if (obs::metrics_enabled()) write_metrics_json(json);
+    }
     json.end_object();
     out << "\n";
 }
@@ -309,13 +349,17 @@ std::vector<std::string> csv_header(bool include_timing)
     for (const auto& field : field_names()) header.push_back(field);
     for (const auto& column : kMetricColumns) header.push_back(column.name);
     header.push_back("error");
-    if (include_timing) header.push_back("wall_seconds");
+    if (include_timing) {
+        header.push_back("predicted_cost");
+        header.push_back("wall_seconds");
+    }
     return header;
 }
 
 void write_csv(std::ostream& out, const campaign_result& result,
                bool include_timing)
 {
+    const obs::trace_span span("report", "write_csv");
     auto emit_row = [&out](const std::vector<std::string>& cells) {
         for (std::size_t i = 0; i < cells.size(); ++i) {
             if (i > 0) out << ",";
@@ -337,7 +381,10 @@ void write_csv(std::ostream& out, const campaign_result& result,
             for (std::size_t i = 0; i < kMetricCount; ++i) cells.push_back("");
             cells.push_back(r.error);
         }
-        if (include_timing) cells.push_back(format_double(r.wall_seconds));
+        if (include_timing) {
+            cells.push_back(format_double(r.predicted_cost));
+            cells.push_back(format_double(r.wall_seconds));
+        }
         emit_row(cells);
     }
 }
@@ -398,6 +445,7 @@ campaign_result merge_shard_csv(const campaign_spec& spec,
     if (paths.empty())
         throw std::runtime_error("merge: no shard reports given");
 
+    const obs::trace_span span("campaign", "merge");
     const std::vector<scenario_spec> expanded = expand(spec);
     const std::int64_t expected_stride =
         resolved_record_every(spec, record_every);

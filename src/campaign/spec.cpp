@@ -195,6 +195,38 @@ std::vector<scenario_spec> expand(const campaign_spec& spec)
     return out;
 }
 
+std::uint64_t spec_hash(const campaign_spec& spec)
+{
+    // FNV-1a over the canonical serialization. Field separators ('\x1f' unit
+    // separator between tokens, '\x1e' between sections) keep adjacent
+    // values from colliding ("ab"+"c" vs "a"+"bc").
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    const auto feed = [&hash](const std::string& text) {
+        for (const unsigned char c : text) {
+            hash ^= c;
+            hash *= 0x100000001b3ULL;
+        }
+        hash ^= 0x1f;
+        hash *= 0x100000001b3ULL;
+    };
+    const auto section = [&hash] {
+        hash ^= 0x1e;
+        hash *= 0x100000001b3ULL;
+    };
+
+    feed(spec.name);
+    section();
+    for (const std::string& field : field_names())
+        feed(get_field(spec.base, field));
+    section();
+    for (const auto& [key, values] : spec.axes) {
+        feed(key);
+        for (const std::string& value : values) feed(value);
+        section();
+    }
+    return hash;
+}
+
 std::vector<std::string> split_list(const std::string& csv)
 {
     std::vector<std::string> out;

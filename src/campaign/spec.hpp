@@ -100,6 +100,15 @@ struct campaign_spec {
 /// unknown axis fields, or expansions above 1e6 scenarios.
 std::vector<scenario_spec> expand(const campaign_spec& spec);
 
+/// Stable FNV-1a hash over the campaign's canonical serialization (name,
+/// every base field in field_names() order via get_field, every axis in
+/// key-sorted order). Two invocations agree on the hash iff they expanded
+/// the same spec, which is what run manifests check when `--merge`
+/// reassembles shards: equal spec_hash ⇒ identical expansion on every
+/// shard. Formatting-only differences in the spec *file* (comments,
+/// whitespace) do not change the hash; any field difference does.
+std::uint64_t spec_hash(const campaign_spec& spec);
+
 /// Splits a comma-separated sweep value list, trimming whitespace.
 std::vector<std::string> split_list(const std::string& csv);
 

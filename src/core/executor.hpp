@@ -23,6 +23,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace dlb {
 
 class executor {
@@ -61,6 +63,9 @@ public:
     {
         if (count <= 0) return identity;
         const std::int64_t chunks = (count + reduce_chunk - 1) / reduce_chunk;
+        static obs::counter& reduce_chunks =
+            obs::registry_counter("executor.reduce_chunks");
+        reduce_chunks.add(chunks);
         std::vector<T> partials(static_cast<std::size_t>(chunks), identity);
         parallel_tasks(chunks, [&](std::int64_t begin, std::int64_t end) {
             for (std::int64_t c = begin; c < end; ++c) {

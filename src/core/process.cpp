@@ -4,9 +4,29 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace dlb {
 
 namespace {
+
+// Per-phase observability (obs/obs.hpp): spans and duration histograms for
+// the three sub-phases of a round, plus rounds/edges counters so traces
+// and metrics report per-kernel throughput. Everything below is
+// out-of-band — one relaxed load per phase when no session is active.
+struct engine_obs {
+    obs::histogram& flows_ns = obs::registry_histogram("engine.flows_ns");
+    obs::histogram& rounding_ns = obs::registry_histogram("engine.rounding_ns");
+    obs::histogram& apply_ns = obs::registry_histogram("engine.apply_ns");
+    obs::counter& rounds = obs::registry_counter("engine.rounds");
+    obs::counter& edges = obs::registry_counter("engine.canonical_edges");
+};
+
+engine_obs& engine_metrics()
+{
+    static engine_obs metrics;
+    return metrics;
+}
 
 /// Chunk-local minima of the fused apply+scan sweep.
 struct load_minima {
@@ -90,22 +110,30 @@ void continuous_process::inject(std::span<const std::int64_t> delta)
 void continuous_process::step()
 {
     const graph& g = *config_.network;
+    engine_obs& em = engine_metrics();
+    em.rounds.add(1);
+    em.edges.add(g.num_half_edges() / 2);
 
-    if (config_.speeds.is_uniform()) {
-        std::copy(load_.begin(), load_.end(), load_over_speed_.begin());
-    } else {
-        exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
-            for (node_id v = static_cast<node_id>(begin); v < end; ++v)
-                load_over_speed_[v] = load_[v] / config_.speeds.speed(v);
-        });
+    {
+        obs::phase_scope phase("engine", "flows", &em.flows_ns);
+
+        if (config_.speeds.is_uniform()) {
+            std::copy(load_.begin(), load_.end(), load_over_speed_.begin());
+        } else {
+            exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+                for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+                    load_over_speed_[v] = load_[v] / config_.speeds.speed(v);
+            });
+        }
+
+        scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
+                        beta_state_.next(), load_over_speed_, previous_flows_,
+                        flows_, *exec_);
     }
-
-    scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
-                    beta_state_.next(), load_over_speed_, previous_flows_,
-                    flows_, *exec_);
 
     // Apply flows; the negative-load min-scan is fused into the same sweep,
     // with per-chunk minima combined deterministically in chunk order.
+    obs::phase_scope apply_phase("engine", "apply", &em.apply_ns);
     const load_minima minima = exec_->parallel_reduce(
         g.num_nodes(), load_minima{},
         [&](std::int64_t begin, std::int64_t end) {
@@ -208,41 +236,53 @@ void discrete_process::inject(std::span<const std::int64_t> delta)
 void discrete_process::step()
 {
     const graph& g = *config_.network;
+    engine_obs& em = engine_metrics();
+    em.rounds.add(1);
+    em.edges.add(g.num_half_edges() / 2);
 
-    // x/s == x exactly for uniform speeds; skip the division.
-    if (config_.speeds.is_uniform()) {
-        exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
-            for (node_id v = static_cast<node_id>(begin); v < end; ++v)
-                load_over_speed_[v] = static_cast<double>(load_[v]);
-        });
-    } else {
-        exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
-            for (node_id v = static_cast<node_id>(begin); v < end; ++v)
-                load_over_speed_[v] =
-                    static_cast<double>(load_[v]) / config_.speeds.speed(v);
-        });
+    {
+        obs::phase_scope phase("engine", "flows", &em.flows_ns);
+
+        // x/s == x exactly for uniform speeds; skip the division.
+        if (config_.speeds.is_uniform()) {
+            exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+                for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+                    load_over_speed_[v] = static_cast<double>(load_[v]);
+            });
+        } else {
+            exec_->parallel_for(g.num_nodes(), [&](std::int64_t begin, std::int64_t end) {
+                for (node_id v = static_cast<node_id>(begin); v < end; ++v)
+                    load_over_speed_[v] =
+                        static_cast<double>(load_[v]) / config_.speeds.speed(v);
+            });
+        }
+
+        // Yhat(t) = C(x^D(t), y^D(t-1))  — the continuous scheduled load. The
+        // integer overload casts previous flows in place (exact), so no double
+        // copy of the flow state is ever materialized.
+        scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
+                        beta_state_.next(), load_over_speed_,
+                        std::span<const std::int64_t>(previous_flows_int_),
+                        scheduled_, *exec_);
     }
 
-    // Yhat(t) = C(x^D(t), y^D(t-1))  — the continuous scheduled load. The
-    // integer overload casts previous flows in place (exact), so no double
-    // copy of the flow state is ever materialized.
-    scheduled_flows(g, config_.alpha, config_.scheme, rounds_in_scheme_,
-                    beta_state_.next(), load_over_speed_,
-                    std::span<const std::int64_t>(previous_flows_int_),
-                    scheduled_, *exec_);
+    {
+        obs::phase_scope phase("engine", "rounding", &em.rounding_ns);
 
-    // Randomized rounding runs the owner pass alone — the mirror is folded
-    // into the apply sweep below, which derives every incoming flow from
-    // its owner; the other roundings mirror inside round_flows (floor and
-    // nearest in the same fused sweep) and the apply derivation is then a
-    // no-op re-read of the mirrored value.
-    if (rounding_ == rounding_kind::randomized)
-        round_flows_randomized_owner(g, scheduled_, seed_, round_, flows_,
-                                     *exec_, rng_);
-    else
-        round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_,
-                    rng_);
+        // Randomized rounding runs the owner pass alone — the mirror is folded
+        // into the apply sweep below, which derives every incoming flow from
+        // its owner; the other roundings mirror inside round_flows (floor and
+        // nearest in the same fused sweep) and the apply derivation is then a
+        // no-op re-read of the mirrored value.
+        if (rounding_ == rounding_kind::randomized)
+            round_flows_randomized_owner(g, scheduled_, seed_, round_, flows_,
+                                         *exec_, rng_);
+        else
+            round_flows(g, rounding_, scheduled_, seed_, round_, flows_, *exec_,
+                        rng_);
+    }
 
+    obs::phase_scope apply_phase("engine", "apply", &em.apply_ns);
     if (policy_ == negative_load_policy::prevent) {
         // Detect and clip over-committed nodes in parallel: each node owns
         // its outgoing (positive-scheduled) half-edges, so the clip writes

@@ -5,9 +5,37 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 
 namespace dlb {
+
+namespace {
+
+// Half-edges processed per rounding kernel: with the engine's round counter
+// and a trace this gives per-kernel edges/s. randomized is counted inside
+// round_flows_randomized_owner (the entry point both round_flows and the
+// discrete engine use), the rest in round_flows.
+obs::counter& kernel_counter(rounding_kind kind)
+{
+    static obs::counter& randomized =
+        obs::registry_counter("rounding.randomized_half_edges");
+    static obs::counter& floor_edges =
+        obs::registry_counter("rounding.floor_half_edges");
+    static obs::counter& nearest =
+        obs::registry_counter("rounding.nearest_half_edges");
+    static obs::counter& bernoulli =
+        obs::registry_counter("rounding.bernoulli_edge_half_edges");
+    switch (kind) {
+    case rounding_kind::randomized: return randomized;
+    case rounding_kind::floor: return floor_edges;
+    case rounding_kind::nearest: return nearest;
+    case rounding_kind::bernoulli_edge: return bernoulli;
+    }
+    return randomized;
+}
+
+} // namespace
 
 std::string_view to_string(rounding_kind kind) noexcept
 {
@@ -316,6 +344,9 @@ void round_flows(const graph& g, rounding_kind kind,
         flows_out.size() != scheduled.size())
         throw std::invalid_argument("round_flows: size mismatch");
 
+    if (kind != rounding_kind::randomized)
+        kernel_counter(kind).add(g.num_half_edges());
+
     // Deterministic roundings need no owner/mirror split: the negative side
     // is the exact negation of rounding the positive side (floor and
     // llround are odd under negating their nonzero argument, and the
@@ -439,6 +470,8 @@ void round_flows_randomized_owner(const graph& g,
     if (scheduled.size() != static_cast<std::size_t>(g.num_half_edges()) ||
         flows_out.size() != scheduled.size())
         throw std::invalid_argument("round_flows_randomized_owner: size mismatch");
+
+    kernel_counter(rounding_kind::randomized).add(g.num_half_edges());
 
     if (version == rng_version::v2) {
         exec.parallel_for(g.num_nodes(),

@@ -26,6 +26,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 namespace dlb {
 
 /// Minimal allocator aligning every allocation to 64 bytes.
@@ -109,8 +111,14 @@ private:
     static aligned_vector<T> acquire(std::vector<aligned_vector<T>>& free_list,
                                      std::size_t size)
     {
+        static obs::counter& acquires =
+            obs::registry_counter("scratch.acquires");
+        static obs::counter& pool_hits =
+            obs::registry_counter("scratch.pool_hits");
+        acquires.add(1);
         aligned_vector<T> buffer;
         if (!free_list.empty()) {
+            pool_hits.add(1);
             std::size_t best = 0;
             for (std::size_t i = 1; i < free_list.size(); ++i)
                 if (free_list[i].capacity() > free_list[best].capacity()) best = i;

@@ -53,6 +53,10 @@
 #include "campaign/spec.hpp"
 #include "campaign/workload.hpp"
 
+#include "obs/manifest.hpp"
+#include "obs/obs.hpp"
+#include "obs/progress.hpp"
+
 #include "sim/eigen_impact.hpp"
 #include "sim/initial_load.hpp"
 #include "sim/recorder.hpp"

@@ -1,0 +1,138 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/timer.hpp"
+
+namespace dlb::obs {
+
+namespace {
+
+// Compact human duration: "42s", "3m10s", "2h05m".
+std::string format_duration(double seconds)
+{
+    if (!(seconds >= 0.0) || !std::isfinite(seconds)) return "?";
+    const auto total = static_cast<std::int64_t>(seconds + 0.5);
+    std::ostringstream out;
+    if (total >= 3600) {
+        out << total / 3600 << "h";
+        const std::int64_t minutes = (total % 3600) / 60;
+        out << (minutes < 10 ? "0" : "") << minutes << "m";
+    } else if (total >= 60) {
+        out << total / 60 << "m";
+        const std::int64_t secs = total % 60;
+        out << (secs < 10 ? "0" : "") << secs << "s";
+    } else {
+        out << total << "s";
+    }
+    return out.str();
+}
+
+} // namespace
+
+progress_meter::progress_meter(options opts, std::int64_t total_scenarios,
+                               double total_cost)
+    : options_(opts),
+      total_scenarios_(total_scenarios),
+      total_cost_(total_cost),
+      start_ns_(now_ns())
+{
+    if (options_.period_seconds <= 0.0) options_.period_seconds = 10.0;
+    if (options_.out != nullptr)
+        ticker_ = std::thread([this] { heartbeat_loop(); });
+}
+
+progress_meter::~progress_meter()
+{
+    if (ticker_.joinable()) {
+        {
+            const std::scoped_lock lock(mutex_);
+            stopping_ = true;
+        }
+        stop_cv_.notify_all();
+        ticker_.join();
+        // Final summary on the caller's thread, after the ticker is gone.
+        std::unique_lock lock(mutex_);
+        print_line(*options_.out, /*final_line=*/true);
+    }
+}
+
+void progress_meter::scenario_done(double predicted_cost, double wall_seconds,
+                                   bool failed)
+{
+    const std::scoped_lock lock(mutex_);
+    ++done_;
+    if (failed) {
+        ++failed_;
+        return;
+    }
+    done_cost_ += predicted_cost;
+    done_seconds_ += wall_seconds;
+    if (predicted_cost > 0.0) rates_.push_back(wall_seconds / predicted_cost);
+}
+
+void progress_meter::heartbeat_loop()
+{
+    std::unique_lock lock(mutex_);
+    for (;;) {
+        const auto period = std::chrono::duration<double>(options_.period_seconds);
+        if (stop_cv_.wait_for(lock, period, [this] { return stopping_; }))
+            return;
+        print_line(*options_.out, /*final_line=*/false);
+    }
+}
+
+void progress_meter::print_line(std::ostream& out, bool final_line)
+{
+    // Caller holds mutex_. Build the whole line first so concurrent writers
+    // to the same stream (per-scenario progress lines) cannot interleave
+    // mid-line.
+    const double elapsed =
+        static_cast<double>(now_ns() - start_ns_) * 1e-9;
+    std::ostringstream line;
+    line << "[shard " << options_.shard_index << "/" << options_.shard_count
+         << "] " << (final_line ? "done: " : "") << done_ << "/"
+         << total_scenarios_ << " scenarios";
+    if (failed_ > 0) line << " (" << failed_ << " failed)";
+    line << "  elapsed=" << format_duration(elapsed);
+
+    // ETA from the scheduler's cost model: realized seconds-per-cost-unit
+    // over the completed scenarios, extrapolated over the predicted cost
+    // still outstanding. done_seconds_ (summed scenario runtimes) rather
+    // than elapsed feeds the rate so parallel workers don't inflate it.
+    if (!final_line && done_cost_ > 0.0 && done_ > 0) {
+        const double rate = done_seconds_ / done_cost_;
+        const double remaining = std::max(0.0, total_cost_ - done_cost_);
+        // Outstanding cost burns down across however many workers kept the
+        // realized pace; scale by the observed concurrency.
+        const double concurrency =
+            elapsed > 0.0 ? std::max(1.0, done_seconds_ / elapsed) : 1.0;
+        line << "  eta=" << format_duration(rate * remaining / concurrency);
+    }
+
+    // Predicted-vs-actual residuals: the spread of per-scenario
+    // seconds-per-cost rates. A well-calibrated table keeps p90/p10 small;
+    // a single outlying scenario class points at the weight to re-fit.
+    if (!rates_.empty()) {
+        std::vector<double> sorted = rates_;
+        std::sort(sorted.begin(), sorted.end());
+        const auto pct = [&](double p) {
+            const auto i = static_cast<std::size_t>(
+                p * static_cast<double>(sorted.size() - 1) + 0.5);
+            return sorted[std::min(i, sorted.size() - 1)];
+        };
+        const double p50 = pct(0.5);
+        line << "  cost-model s/unit: p50=" << p50;
+        if (sorted.size() >= 3 && p50 > 0.0)
+            line << " p10/p50=" << pct(0.1) / p50
+                 << " p90/p50=" << pct(0.9) / p50;
+    }
+    out << line.str() << "\n";
+}
+
+} // namespace dlb::obs

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "sim/initial_load.hpp"
 
 namespace dlb {
@@ -82,6 +83,9 @@ time_series run_loop(Engine& engine, const experiment_config& config,
         }
 
         if (dynamic) {
+            static obs::histogram& workload_ns =
+                obs::registry_histogram("engine.workload_ns");
+            const obs::phase_scope phase("engine", "workload", &workload_ns);
             std::copy(load.begin(), load.end(), load_view.begin());
             std::fill(delta.begin(), delta.end(), std::int64_t{0});
             if (config.workload->apply(t, load_view, delta)) {

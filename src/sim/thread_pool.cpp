@@ -1,17 +1,52 @@
 #include "sim/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <string>
+
+#include "obs/obs.hpp"
 
 namespace dlb {
+
+namespace {
+
+// Pool observability: job/chunk counters plus a queue-depth histogram
+// (chunks enqueued per job). A "steal" is a chunk executed by a worker
+// other than its static contiguous owner — the worker that an even
+// one-shot split would have assigned it — so steals/pulls measures how
+// much the dynamic queue actually rebalanced.
+struct pool_obs {
+    obs::counter& jobs = obs::registry_counter("thread_pool.jobs");
+    obs::counter& pulls = obs::registry_counter("thread_pool.chunk_pulls");
+    obs::counter& steals = obs::registry_counter("thread_pool.chunk_steals");
+    obs::histogram& job_chunks =
+        obs::registry_histogram("thread_pool.job_chunks");
+};
+
+pool_obs& pool_metrics()
+{
+    static pool_obs metrics;
+    return metrics;
+}
+
+// Distinguishes worker tracks across pools within one process.
+std::atomic<int> pool_sequence{0};
+
+} // namespace
 
 thread_pool::thread_pool(unsigned worker_count)
 {
     if (worker_count == 0) {
         worker_count = std::max(1u, std::thread::hardware_concurrency());
     }
+    const int pool_id = pool_sequence.fetch_add(1, std::memory_order_relaxed);
     workers_.reserve(worker_count);
     for (unsigned i = 0; i < worker_count; ++i)
-        workers_.emplace_back([this, i] { worker_loop(i); });
+        workers_.emplace_back([this, pool_id, i] {
+            obs::set_thread_name("pool" + std::to_string(pool_id) + ".worker" +
+                                 std::to_string(i));
+            worker_loop(i);
+        });
 }
 
 thread_pool::~thread_pool()
@@ -74,6 +109,11 @@ void thread_pool::run_distributed(
         return;
     }
     {
+        pool_obs& pm = pool_metrics();
+        pm.jobs.add(1);
+        pm.job_chunks.record(num_chunks);
+    }
+    {
         std::lock_guard lock(mutex_);
         job_.body = &body;
         job_.count = count;
@@ -91,8 +131,10 @@ void thread_pool::run_distributed(
     job_.body = nullptr;
 }
 
-void thread_pool::worker_loop(unsigned)
+void thread_pool::worker_loop(unsigned worker_index)
 {
+    pool_obs& pm = pool_metrics();
+    const auto workers = static_cast<std::int64_t>(workers_.size());
     std::uint64_t seen_generation = 0;
     for (;;) {
         job local;
@@ -111,6 +153,12 @@ void thread_pool::worker_loop(unsigned)
             const std::int64_t c =
                 next_chunk_.fetch_add(1, std::memory_order_relaxed);
             if (c >= local.num_chunks) break;
+            pm.pulls.add(1);
+            // Static contiguous owner this chunk would have had under an
+            // even one-shot split; executing it elsewhere is a steal.
+            if (c * workers / local.num_chunks !=
+                static_cast<std::int64_t>(worker_index))
+                pm.steals.add(1);
             const std::int64_t begin = c * local.chunk;
             const std::int64_t end =
                 std::min<std::int64_t>(local.count, begin + local.chunk);

@@ -1,29 +1,46 @@
-// Wall-clock timing helpers for the bench harness.
+// Monotonic timing for the bench harness and the observability layer.
+//
+// Everything that measures elapsed time — bench loops, campaign wall-clock
+// fields, obs trace spans and progress heartbeats — goes through the single
+// monotonic clock below. steady_clock never jumps backwards (NTP steps and
+// manual clock changes move system_clock, not it), so spans always have
+// non-negative durations and heartbeat periods never misfire.
 #ifndef DLB_UTIL_TIMER_HPP
 #define DLB_UTIL_TIMER_HPP
 
 #include <chrono>
+#include <cstdint>
 
 namespace dlb {
+
+/// Nanoseconds on the process-wide monotonic clock (steady_clock). The
+/// epoch is unspecified (typically boot); only differences are meaningful.
+/// This is the single time source for stopwatch, obs::trace_span and the
+/// progress heartbeats, so their timestamps are mutually comparable.
+inline std::int64_t now_ns() noexcept
+{
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 /// Monotonic stopwatch; starts on construction.
 class stopwatch {
 public:
-    stopwatch() noexcept : start_(clock::now()) {}
+    stopwatch() noexcept : start_(now_ns()) {}
 
     /// Seconds elapsed since construction or the last reset().
     double seconds() const noexcept
     {
-        return std::chrono::duration<double>(clock::now() - start_).count();
+        return static_cast<double>(now_ns() - start_) * 1e-9;
     }
 
     double milliseconds() const noexcept { return seconds() * 1e3; }
 
-    void reset() noexcept { start_ = clock::now(); }
+    void reset() noexcept { start_ = now_ns(); }
 
 private:
-    using clock = std::chrono::steady_clock;
-    clock::time_point start_;
+    std::int64_t start_;
 };
 
 } // namespace dlb

@@ -24,6 +24,7 @@
 
 #include "campaign/workload.hpp"
 #include "core/alpha.hpp"
+#include "obs/obs.hpp"
 #include "core/beta.hpp"
 #include "core/diffusion_matrix.hpp"
 #include "core/process.hpp"
@@ -306,6 +307,88 @@ TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutorsBothRngVersions)
                                     label + " workers=" + std::to_string(workers));
         }
     }
+}
+
+TEST(GoldenDeterminism, SeriesByteIdenticalWithObservabilityEnabled)
+{
+    // The observability layer's zero-perturbation contract: re-running the
+    // executor x engine x rounding grid with tracing AND metrics active must
+    // reproduce the unobserved series byte-for-byte. Instrumentation reads
+    // clocks and bumps counters but never touches engine state or RNG
+    // streams, and this is where that claim is pinned.
+    const graph g = make_torus_2d(12, 12);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::bimodal(g.num_nodes(), 0.25, 4.0, 5);
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 100LL);
+
+    std::vector<determinism_grid_case> grid;
+    for (const auto rounding :
+         {rounding_kind::randomized, rounding_kind::floor,
+          rounding_kind::nearest, rounding_kind::bernoulli_edge})
+        grid.push_back({process_kind::discrete, rounding,
+                        negative_load_policy::allow, rng_version::v1});
+    grid.push_back({process_kind::discrete, rounding_kind::randomized,
+                    negative_load_policy::prevent, rng_version::v2});
+    grid.push_back({process_kind::continuous, rounding_kind::randomized,
+                    negative_load_policy::allow, rng_version::v1});
+
+    auto make_config = [&](const determinism_grid_case& cell) {
+        experiment_config config;
+        config.diffusion = {&g, alpha, speeds, sos_scheme(1.7)};
+        config.process = cell.process;
+        config.rounding = cell.rounding;
+        config.policy = cell.policy;
+        config.rng = cell.rng;
+        config.seed = 77;
+        config.rounds = 200;
+        config.record_every = 7;
+        return config;
+    };
+
+    // Baseline: the whole grid with observability off (the default).
+    ASSERT_FALSE(obs::tracing());
+    ASSERT_FALSE(obs::metrics_enabled());
+    std::vector<time_series> baseline;
+    for (const auto& cell : grid) {
+        experiment_config config = make_config(cell);
+        config.exec = nullptr;
+        baseline.push_back(run_experiment(config, initial));
+    }
+
+    // Same grid again, serial and pooled, inside a live session with both
+    // the trace writer and the metrics registry hot.
+    {
+        obs::session_options options;
+        options.trace_path = testing::TempDir() + "dlb_golden_obs_trace.json";
+        options.metrics_path = testing::TempDir() + "dlb_golden_obs_metrics.jsonl";
+        options.collect_metrics = true;
+        const obs::session session(options);
+        ASSERT_TRUE(obs::tracing());
+        ASSERT_TRUE(obs::metrics_enabled());
+
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            experiment_config config = make_config(grid[i]);
+            const std::string label =
+                std::string(grid[i].process == process_kind::continuous
+                                ? "continuous"
+                                : "discrete") +
+                "/" + std::string(to_string(grid[i].rounding)) + "/rng" +
+                std::string(to_string(grid[i].rng)) + " (observed)";
+
+            config.exec = nullptr;
+            expect_series_identical(baseline[i], run_experiment(config, initial),
+                                    label + " serial");
+            for (const unsigned workers : {2u, 8u}) {
+                thread_pool pool(workers);
+                config.exec = &pool;
+                expect_series_identical(
+                    baseline[i], run_experiment(config, initial),
+                    label + " workers=" + std::to_string(workers));
+            }
+        }
+    }
+    ASSERT_FALSE(obs::tracing());
+    ASSERT_FALSE(obs::metrics_enabled());
 }
 
 TEST(GoldenDeterminism, RngVersionsProduceDistinctButValidTrajectories)

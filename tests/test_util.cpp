@@ -1,4 +1,4 @@
-// Tests for CSV writer and CLI parser.
+// Tests for CSV writer, CLI parser, and the monotonic timer.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -7,6 +7,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/timer.hpp"
 
 namespace dlb {
 namespace {
@@ -235,6 +236,36 @@ TEST(Cli, WellFormedNumbersStillParse)
     EXPECT_EQ(bare.get_int("flag", 5), 5);
     EXPECT_DOUBLE_EQ(bare.get_double("flag", 1.5), 1.5);
     EXPECT_EQ(bare.get_uint64("flag", 9), 9u);
+}
+
+// now_ns() is the single time source for stopwatch, obs trace spans and the
+// progress heartbeats (util/timer.hpp). It must be monotone non-decreasing —
+// a system_clock regression here would let NTP steps produce negative span
+// durations and misfired heartbeats.
+TEST(Timer, NowNsIsMonotoneNonDecreasing)
+{
+    std::int64_t previous = now_ns();
+    for (int i = 0; i < 100000; ++i) {
+        const std::int64_t current = now_ns();
+        ASSERT_GE(current, previous) << "clock went backwards at sample " << i;
+        previous = current;
+    }
+}
+
+TEST(Timer, StopwatchElapsedIsNonNegativeAndIncreases)
+{
+    stopwatch watch;
+    const double first = watch.seconds();
+    EXPECT_GE(first, 0.0);
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+    const double second = watch.seconds();
+    EXPECT_GE(second, first);
+    // milliseconds() is defined as seconds() * 1e3; successive reads may
+    // advance, so only bound it from below.
+    EXPECT_GE(watch.milliseconds(), second * 1e3);
+    watch.reset();
+    EXPECT_LE(watch.seconds(), second + 1.0); // reset restarts from ~zero
 }
 
 } // namespace
