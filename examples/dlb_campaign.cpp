@@ -6,18 +6,19 @@
 // Full reference: docs/campaign-specs.md.
 //
 //   # 24 scenarios: 3 topologies x 2 schemes x 2 roundings x 2 seeds
-//   dlb_campaign --nodes 1024 --rounds 400 \
-//     --sweep.topology torus,hypercube,random_regular \
-//     --sweep.scheme fos,sos --sweep.rounding randomized,floor --seeds 2 \
+//   # (one shell command; join the continuation lines)
+//   dlb_campaign --nodes 1024 --rounds 400
+//     --sweep.topology torus,hypercube,random_regular
+//     --sweep.scheme fos,sos --sweep.rounding randomized,floor --seeds 2
 //     --threads 8 --json campaign.json --csv campaign.csv
 //
 //   # the same campaign split across two processes/machines (cost-balanced,
 //   # sharing one lambda sidecar), then merged
-//   dlb_campaign --spec big.spec --shard 0/2 --shard-balance cost \
+//   dlb_campaign --spec big.spec --shard 0/2 --shard-balance cost
 //     --lambda-cache lam.cache --csv s0.csv
-//   dlb_campaign --spec big.spec --shard 1/2 --shard-balance cost \
+//   dlb_campaign --spec big.spec --shard 1/2 --shard-balance cost
 //     --lambda-cache lam.cache --csv s1.csv
-//   dlb_campaign --spec big.spec --merge s0.csv,s1.csv \
+//   dlb_campaign --spec big.spec --merge s0.csv,s1.csv
 //     --csv full.csv --json full.json
 //
 // Reports are byte-identical for any --threads value, with or without

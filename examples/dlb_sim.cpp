@@ -6,8 +6,8 @@
 //   ./dlb_sim --graph torus:100x100 --scheme sos --rounds 3000
 //   ./dlb_sim --graph hypercube:16 --scheme fos --rounding floor
 //   ./dlb_sim --graph cm:65536,16 --scheme sos --switch-at 12
-//   ./dlb_sim --graph rgg:10000 --scheme chebyshev --switch-local 10 \
-//             --csv run.csv --threads 8
+//   ./dlb_sim --graph rgg:10000 --scheme chebyshev --switch-local 10
+//             --csv run.csv --threads 8    (one command; join the lines)
 //   ./dlb_sim --graph torus:200x200 --frames out/ --frame-every 50
 //   ./dlb_sim --graph torus:32x32 --speeds bimodal:0.25,4 --scheme sos
 #include <cmath>

@@ -5,7 +5,6 @@
 #include <cmath>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <numeric>
 #include <optional>
 #include <ostream>
@@ -22,6 +21,7 @@
 #include "sim/thread_pool.hpp"
 #include "util/csv.hpp" // format_double
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 #include "util/timer.hpp"
 
 namespace dlb::campaign {
@@ -108,14 +108,24 @@ std::string lambda_cache_key(const scenario_spec& spec)
     key += topology_uses_seed(spec.topology)
                ? std::to_string(topology_seed(spec.seed))
                : std::string("-");
-    key += "|" + spec.alpha;
-    if (spec.alpha == "uniform_gamma_d")
-        key += "|" + format_double(spec.alpha_gamma);
-    key += "|" + spec.speeds;
-    if (spec.speeds != "uniform")
-        key += "|" + format_double(spec.speed_value) + "|" +
-               format_double(spec.speed_shape) + "|" +
-               std::to_string(mix64(spec.seed, kSpeedStream));
+    // Built with plain appends: `"|" + std::string_rvalue` trips GCC 12's
+    // -Wrestrict false positive (PR 105329) in the inlined insert path.
+    key += "|";
+    key += spec.alpha;
+    if (spec.alpha == "uniform_gamma_d") {
+        key += "|";
+        key += format_double(spec.alpha_gamma);
+    }
+    key += "|";
+    key += spec.speeds;
+    if (spec.speeds != "uniform") {
+        key += "|";
+        key += format_double(spec.speed_value);
+        key += "|";
+        key += format_double(spec.speed_shape);
+        key += "|";
+        key += std::to_string(mix64(spec.seed, kSpeedStream));
+    }
     return key;
 }
 
@@ -327,7 +337,7 @@ campaign_result detail_run(const campaign_spec& spec,
     const obs::trace_span run_span("campaign", "run");
     const stopwatch watch;
     std::atomic<std::int64_t> next{0};
-    std::mutex progress_mutex;
+    mutex progress_mutex;
 
     // Heartbeats: total predicted cost of this shard's scenarios sizes the
     // cost-model ETA. The meter lives in an optional so it can be torn down
@@ -384,7 +394,7 @@ campaign_result detail_run(const campaign_spec& spec,
                                      !r.error.empty());
             }
             if (options.progress != nullptr) {
-                const std::scoped_lock lock(progress_mutex);
+                const scoped_lock lock(progress_mutex);
                 const auto& r = result.scenarios[slot];
                 *options.progress
                     << "[" << slot + 1 << "/" << count << "] " << r.label

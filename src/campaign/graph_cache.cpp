@@ -106,7 +106,7 @@ std::shared_ptr<const graph> graph_cache::get(const std::string& family,
 
     std::shared_ptr<graph_slot> slot;
     {
-        const std::scoped_lock lock(mutex_);
+        const scoped_lock lock(mutex_);
         auto& entry = graphs_[graph_key{family, nodes, param, effective_seed}];
         if (entry == nullptr) entry = std::make_shared<graph_slot>();
         slot = entry;
@@ -134,7 +134,7 @@ double graph_cache::lambda(const std::string& key,
 {
     std::shared_ptr<lambda_slot> slot;
     {
-        const std::scoped_lock lock(mutex_);
+        const scoped_lock lock(mutex_);
         auto& entry = lambdas_[key];
         if (entry == nullptr) entry = std::make_shared<lambda_slot>();
         slot = entry;
@@ -165,7 +165,7 @@ std::size_t graph_cache::load_lambda_sidecar(const std::string& path)
     for (const auto& [key, value] : entries) {
         std::shared_ptr<lambda_slot> slot;
         {
-            const std::scoped_lock lock(mutex_);
+            const scoped_lock lock(mutex_);
             auto& entry = lambdas_[key];
             if (entry == nullptr) entry = std::make_shared<lambda_slot>();
             slot = entry;
@@ -190,7 +190,7 @@ std::size_t graph_cache::save_lambda_sidecar(const std::string& path) const
     // equal computations, so collisions carry equal values anyway).
     std::map<std::string, double> entries = read_sidecar(path);
     {
-        const std::scoped_lock lock(mutex_);
+        const scoped_lock lock(mutex_);
         for (const auto& [key, slot] : lambdas_)
             if (slot->ready.load(std::memory_order_acquire))
                 entries[key] = slot->value;

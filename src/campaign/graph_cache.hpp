@@ -36,11 +36,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
+#include <mutex> // std::once_flag / std::call_once (per-entry builds)
 #include <string>
 #include <tuple>
 
 #include "graph/graph.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlb::campaign {
 
@@ -112,9 +114,15 @@ private:
 
     using graph_key = std::tuple<std::string, std::int64_t, double, std::uint64_t>;
 
-    mutable std::mutex mutex_;
-    std::map<graph_key, std::shared_ptr<graph_slot>> graphs_;
-    std::map<std::string, std::shared_ptr<lambda_slot>> lambdas_;
+    // mutex_ guards only the slot maps; the slots themselves are built
+    // under their own per-entry std::call_once (outside mutex_, so
+    // concurrent builds of distinct keys never serialize) and are immutable
+    // once the once_flag is satisfied.
+    mutable mutex mutex_;
+    std::map<graph_key, std::shared_ptr<graph_slot>> graphs_
+        DLB_GUARDED_BY(mutex_);
+    std::map<std::string, std::shared_ptr<lambda_slot>> lambdas_
+        DLB_GUARDED_BY(mutex_);
     std::atomic<std::int64_t> graph_hits_{0};
     std::atomic<std::int64_t> graph_misses_{0};
     std::atomic<std::int64_t> lambda_hits_{0};

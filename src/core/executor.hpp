@@ -15,6 +15,14 @@
 // combine order is therefore a pure function of `count`, so even
 // non-associative combines (floating-point sums) are reproducible across
 // serial_executor, thread_pool, and any number of workers.
+//
+// Thread-safety: this interface is data-parallel by construction and holds
+// no locks, so it carries no util/thread_annotations.hpp annotations. The
+// safety obligations live in the contract instead: `body`/`map` must only
+// touch state inside their [begin, end) range, and `partials` is safe
+// because each chunk index is written by exactly one task. The annotated
+// capabilities sit one layer down, in sim/thread_pool (the implementation
+// that actually shares state between workers).
 #ifndef DLB_CORE_EXECUTOR_HPP
 #define DLB_CORE_EXECUTOR_HPP
 

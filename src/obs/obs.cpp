@@ -4,10 +4,11 @@
 #include <fstream>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 
 #include "util/json.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlb::obs {
 
@@ -30,8 +31,8 @@ int assign_thread_id() noexcept
 // Thread names live outside the session so a pool constructed before the
 // session still gets named tracks: the session writes the metadata events
 // at finalize time from whatever this map holds.
-std::mutex thread_name_mutex;
-std::map<int, std::string>& thread_names()
+mutex thread_name_mutex;
+std::map<int, std::string>& thread_names() DLB_REQUIRES(thread_name_mutex)
 {
     static std::map<int, std::string> names;
     return names;
@@ -42,15 +43,17 @@ std::map<int, std::string>& thread_names()
 // Metrics are created once and never destroyed (instrumentation sites keep
 // references in function-local statics), so the registry stores stable
 // pointers and the process teardown never races a worker's last add().
-std::mutex registry_mutex;
+mutex registry_mutex;
 
 std::map<std::string, std::unique_ptr<counter>>& counters()
+    DLB_REQUIRES(registry_mutex)
 {
     static std::map<std::string, std::unique_ptr<counter>> map;
     return map;
 }
 
 std::map<std::string, std::unique_ptr<histogram>>& histograms()
+    DLB_REQUIRES(registry_mutex)
 {
     static std::map<std::string, std::unique_ptr<histogram>> map;
     return map;
@@ -62,12 +65,14 @@ std::map<std::string, std::unique_ptr<histogram>>& histograms()
 // per engine phase / scenario / campaign stage — a few events per round at
 // most — so a straight write under the mutex beats the complexity of
 // per-thread buffers.
+mutex trace_mutex;
+
 struct trace_writer {
     std::ofstream out;
     std::int64_t base_ns = 0; // session start; event ts are relative to it
     bool first = true;
 
-    void open(const std::string& path)
+    void open(const std::string& path) DLB_REQUIRES(trace_mutex)
     {
         out.open(path);
         if (!out)
@@ -77,18 +82,18 @@ struct trace_writer {
         first = true;
     }
 
-    void event_prefix()
+    void event_prefix() DLB_REQUIRES(trace_mutex)
     {
         if (!first) out << ",";
         first = false;
         out << "\n";
     }
 
-    void close_document()
+    void close_document() DLB_REQUIRES(trace_mutex)
     {
         // Metadata events name the per-thread tracks.
         {
-            const std::scoped_lock names_lock(thread_name_mutex);
+            const scoped_lock names_lock(thread_name_mutex);
             for (const auto& [tid, name] : thread_names()) {
                 event_prefix();
                 out << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
@@ -101,15 +106,14 @@ struct trace_writer {
     }
 };
 
-std::mutex trace_mutex;
-trace_writer& tracer()
+trace_writer& tracer() DLB_REQUIRES(trace_mutex)
 {
     static trace_writer writer;
     return writer;
 }
 
-std::mutex session_mutex;
-bool session_active = false;
+mutex session_mutex;
+bool session_active DLB_GUARDED_BY(session_mutex) = false;
 
 } // namespace
 
@@ -122,13 +126,13 @@ int thread_id() noexcept
 void set_thread_name(const std::string& name)
 {
     const int id = thread_id();
-    const std::scoped_lock lock(thread_name_mutex);
+    const scoped_lock lock(thread_name_mutex);
     thread_names()[id] = name;
 }
 
 counter& registry_counter(const std::string& name)
 {
-    const std::scoped_lock lock(registry_mutex);
+    const scoped_lock lock(registry_mutex);
     auto& slot = counters()[name];
     if (slot == nullptr) slot = std::make_unique<counter>(name);
     return *slot;
@@ -136,7 +140,7 @@ counter& registry_counter(const std::string& name)
 
 histogram& registry_histogram(const std::string& name)
 {
-    const std::scoped_lock lock(registry_mutex);
+    const scoped_lock lock(registry_mutex);
     auto& slot = histograms()[name];
     if (slot == nullptr) slot = std::make_unique<histogram>(name);
     return *slot;
@@ -144,7 +148,7 @@ histogram& registry_histogram(const std::string& name)
 
 std::vector<metric_value> snapshot_metrics()
 {
-    const std::scoped_lock lock(registry_mutex);
+    const scoped_lock lock(registry_mutex);
     std::vector<metric_value> out;
     // std::map iterates in key order, and counter/histogram names never
     // collide in the output because both maps are emitted into one
@@ -176,7 +180,7 @@ std::vector<metric_value> snapshot_metrics()
 
 void reset_metrics()
 {
-    const std::scoped_lock lock(registry_mutex);
+    const scoped_lock lock(registry_mutex);
     for (const auto& [name, c] : counters()) c->reset();
     for (const auto& [name, h] : histograms()) h->reset();
 }
@@ -205,7 +209,7 @@ void emit_complete_event(const char* category, const char* name,
                          std::int64_t start_ns, std::int64_t duration_ns)
 {
     const int tid = thread_id();
-    const std::scoped_lock lock(trace_mutex);
+    const scoped_lock lock(trace_mutex);
     trace_writer& w = tracer();
     if (!w.out.is_open()) return; // session ended between check and emit
     w.event_prefix();
@@ -225,7 +229,7 @@ void trace_instant(const char* category, const char* name)
     if (!tracing()) return;
     const std::int64_t ts = now_ns();
     const int tid = thread_id();
-    const std::scoped_lock lock(trace_mutex);
+    const scoped_lock lock(trace_mutex);
     trace_writer& w = tracer();
     if (!w.out.is_open()) return;
     w.event_prefix();
@@ -239,14 +243,14 @@ void trace_instant(const char* category, const char* name)
 session::session(session_options options) : options_(std::move(options))
 {
     {
-        const std::scoped_lock lock(session_mutex);
+        const scoped_lock lock(session_mutex);
         if (session_active)
             throw std::logic_error("obs: a session is already active");
         session_active = true;
     }
     try {
         if (!options_.trace_path.empty()) {
-            const std::scoped_lock lock(trace_mutex);
+            const scoped_lock lock(trace_mutex);
             tracer().open(options_.trace_path);
         }
         metrics_active_ =
@@ -263,7 +267,7 @@ session::session(session_options options) : options_(std::move(options))
             reset_metrics();
         }
     } catch (...) {
-        const std::scoped_lock lock(session_mutex);
+        const scoped_lock lock(session_mutex);
         session_active = false;
         throw;
     }
@@ -278,7 +282,7 @@ session::~session()
     detail::metrics_on.store(false, std::memory_order_relaxed);
 
     if (!options_.trace_path.empty()) {
-        const std::scoped_lock lock(trace_mutex);
+        const scoped_lock lock(trace_mutex);
         if (tracer().out.is_open()) tracer().close_document();
     }
 
@@ -304,7 +308,7 @@ session::~session()
         }
     }
 
-    const std::scoped_lock lock(session_mutex);
+    const scoped_lock lock(session_mutex);
     session_active = false;
 }
 

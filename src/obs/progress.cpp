@@ -51,13 +51,13 @@ progress_meter::~progress_meter()
 {
     if (ticker_.joinable()) {
         {
-            const std::scoped_lock lock(mutex_);
+            const scoped_lock lock(mutex_);
             stopping_ = true;
         }
         stop_cv_.notify_all();
         ticker_.join();
         // Final summary on the caller's thread, after the ticker is gone.
-        std::unique_lock lock(mutex_);
+        const scoped_lock lock(mutex_);
         print_line(*options_.out, /*final_line=*/true);
     }
 }
@@ -65,7 +65,7 @@ progress_meter::~progress_meter()
 void progress_meter::scenario_done(double predicted_cost, double wall_seconds,
                                    bool failed)
 {
-    const std::scoped_lock lock(mutex_);
+    const scoped_lock lock(mutex_);
     ++done_;
     if (failed) {
         ++failed_;
@@ -78,12 +78,15 @@ void progress_meter::scenario_done(double predicted_cost, double wall_seconds,
 
 void progress_meter::heartbeat_loop()
 {
-    std::unique_lock lock(mutex_);
-    for (;;) {
-        const auto period = std::chrono::duration<double>(options_.period_seconds);
-        if (stop_cv_.wait_for(lock, period, [this] { return stopping_; }))
-            return;
-        print_line(*options_.out, /*final_line=*/false);
+    // Predicate loop in the locked scope rather than a wait_for lambda so
+    // the thread-safety analysis sees every stopping_ read under mutex_.
+    unique_lock lock(mutex_);
+    while (!stopping_) {
+        const auto period =
+            std::chrono::duration<double>(options_.period_seconds);
+        if (stop_cv_.wait_for(lock, period) == std::cv_status::timeout &&
+            !stopping_)
+            print_line(*options_.out, /*final_line=*/false);
     }
 }
 

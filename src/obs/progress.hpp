@@ -20,12 +20,13 @@
 #ifndef DLB_OBS_PROGRESS_HPP
 #define DLB_OBS_PROGRESS_HPP
 
-#include <condition_variable>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlb::obs {
 
@@ -57,22 +58,23 @@ public:
 
 private:
     void heartbeat_loop();
-    void print_line(std::ostream& out, bool final_line);
+    void print_line(std::ostream& out, bool final_line) DLB_REQUIRES(mutex_);
 
     options options_;
     std::int64_t total_scenarios_;
     double total_cost_;
     std::int64_t start_ns_;
 
-    std::mutex mutex_;
-    std::condition_variable stop_cv_;
-    bool stopping_ = false;
-    std::int64_t done_ = 0;
-    std::int64_t failed_ = 0;
-    double done_cost_ = 0.0;    // predicted cost of completed scenarios
-    double done_seconds_ = 0.0; // sum of their measured wall seconds
+    mutex mutex_;
+    condition_variable stop_cv_;
+    bool stopping_ DLB_GUARDED_BY(mutex_) = false;
+    std::int64_t done_ DLB_GUARDED_BY(mutex_) = 0;
+    std::int64_t failed_ DLB_GUARDED_BY(mutex_) = 0;
+    // Predicted cost of completed scenarios / sum of their wall seconds.
+    double done_cost_ DLB_GUARDED_BY(mutex_) = 0.0;
+    double done_seconds_ DLB_GUARDED_BY(mutex_) = 0.0;
     // Per-scenario residuals: actual seconds per predicted cost unit.
-    std::vector<double> rates_;
+    std::vector<double> rates_ DLB_GUARDED_BY(mutex_);
 
     std::thread ticker_;
 };

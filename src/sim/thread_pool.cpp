@@ -40,6 +40,7 @@ thread_pool::thread_pool(unsigned worker_count)
         worker_count = std::max(1u, std::thread::hardware_concurrency());
     }
     const int pool_id = pool_sequence.fetch_add(1, std::memory_order_relaxed);
+    worker_count_ = worker_count; // published before the first spawn below
     workers_.reserve(worker_count);
     for (unsigned i = 0; i < worker_count; ++i)
         workers_.emplace_back([this, pool_id, i] {
@@ -52,7 +53,7 @@ thread_pool::thread_pool(unsigned worker_count)
 thread_pool::~thread_pool()
 {
     {
-        std::lock_guard lock(mutex_);
+        const scoped_lock lock(mutex_);
         stopping_ = true;
     }
     work_ready_.notify_all();
@@ -64,7 +65,7 @@ void thread_pool::parallel_for(
 {
     if (count <= 0) return;
 
-    const auto workers = static_cast<std::int64_t>(workers_.size());
+    const auto workers = static_cast<std::int64_t>(worker_count_);
     // Small ranges are cheaper inline than a pool round-trip.
     if (count < 4 * workers || workers <= 1) {
         body(0, count);
@@ -82,7 +83,7 @@ void thread_pool::parallel_tasks(
 
     // Coarse tasks: distribute whenever more than one worker could help,
     // one task per chunk.
-    if (count <= 1 || workers_.size() <= 1) {
+    if (count <= 1 || worker_count_ <= 1) {
         body(0, count);
         return;
     }
@@ -93,7 +94,7 @@ void thread_pool::run_distributed(
     std::int64_t count, std::int64_t grain,
     const std::function<void(std::int64_t, std::int64_t)>& body)
 {
-    const auto workers = static_cast<std::int64_t>(workers_.size());
+    const auto workers = static_cast<std::int64_t>(worker_count_);
     // Several chunks per worker, pulled dynamically: contiguous
     // one-chunk-per-worker splitting strands all the work of a localized
     // region on one worker. The chunk count stays between one-per-worker
@@ -114,7 +115,7 @@ void thread_pool::run_distributed(
         pm.job_chunks.record(num_chunks);
     }
     {
-        std::lock_guard lock(mutex_);
+        const scoped_lock lock(mutex_);
         job_.body = &body;
         job_.count = count;
         job_.chunk = chunk;
@@ -122,28 +123,29 @@ void thread_pool::run_distributed(
         next_chunk_.store(0, std::memory_order_relaxed);
         ++generation_;
         job_.generation = generation_;
-        remaining_ = static_cast<unsigned>(workers_.size());
+        remaining_ = worker_count_;
     }
     work_ready_.notify_all();
 
-    std::unique_lock lock(mutex_);
-    work_done_.wait(lock, [this] { return remaining_ == 0; });
+    unique_lock lock(mutex_);
+    while (remaining_ != 0) work_done_.wait(lock);
     job_.body = nullptr;
 }
 
 void thread_pool::worker_loop(unsigned worker_index)
 {
     pool_obs& pm = pool_metrics();
-    const auto workers = static_cast<std::int64_t>(workers_.size());
+    // worker_count_, not workers_.size(): this thread may start before the
+    // constructor has finished emplacing into workers_ (see header note).
+    const auto workers = static_cast<std::int64_t>(worker_count_);
     std::uint64_t seen_generation = 0;
     for (;;) {
         job local;
         {
-            std::unique_lock lock(mutex_);
-            work_ready_.wait(lock, [&] {
-                return stopping_ || (job_.body != nullptr &&
-                                     job_.generation != seen_generation);
-            });
+            unique_lock lock(mutex_);
+            while (!stopping_ && (job_.body == nullptr ||
+                                  job_.generation == seen_generation))
+                work_ready_.wait(lock);
             if (stopping_) return;
             local = job_;
             seen_generation = local.generation;
@@ -166,7 +168,7 @@ void thread_pool::worker_loop(unsigned worker_index)
         }
 
         {
-            std::lock_guard lock(mutex_);
+            const scoped_lock lock(mutex_);
             if (--remaining_ == 0) work_done_.notify_all();
         }
     }

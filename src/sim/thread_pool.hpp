@@ -19,14 +19,14 @@
 #define DLB_SIM_THREAD_POOL_HPP
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/executor.hpp"
+#include "util/sync.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dlb {
 
@@ -39,10 +39,7 @@ public:
     thread_pool(const thread_pool&) = delete;
     thread_pool& operator=(const thread_pool&) = delete;
 
-    unsigned worker_count() const noexcept
-    {
-        return static_cast<unsigned>(workers_.size());
-    }
+    unsigned worker_count() const noexcept { return worker_count_; }
 
     void parallel_for(std::int64_t count,
                       const std::function<void(std::int64_t, std::int64_t)>& body) override;
@@ -64,15 +61,23 @@ private:
 
     void worker_loop(unsigned index);
 
+    // Set in the constructor before any worker is spawned and never written
+    // again, so workers may read it freely. Workers must NOT consult
+    // workers_.size() instead: they start while the constructor is still
+    // growing the vector, and the unsynchronized size read is a data race
+    // (caught by TSan; regression: ThreadPool.DispatchDuringConstruction).
+    unsigned worker_count_ = 0;
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable work_ready_;
-    std::condition_variable work_done_;
-    job job_;
+    mutex mutex_;
+    condition_variable work_ready_;
+    condition_variable work_done_;
+    job job_ DLB_GUARDED_BY(mutex_);
+    // Workers pull chunk indices lock-free while the job is live; the
+    // publish/retire handshake on job_ (under mutex_) brackets every use.
     std::atomic<std::int64_t> next_chunk_{0};
-    std::uint64_t generation_ = 0;
-    unsigned remaining_ = 0;
-    bool stopping_ = false;
+    std::uint64_t generation_ DLB_GUARDED_BY(mutex_) = 0;
+    unsigned remaining_ DLB_GUARDED_BY(mutex_) = 0;
+    bool stopping_ DLB_GUARDED_BY(mutex_) = false;
 };
 
 } // namespace dlb

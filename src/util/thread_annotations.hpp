@@ -1,0 +1,79 @@
+// Clang thread-safety-analysis attribute macros.
+//
+// The concurrency-bearing components (sim/thread_pool, campaign/graph_cache,
+// obs/, the campaign executor) declare their lock discipline with these
+// macros so `clang -Wthread-safety` proves at compile time what the golden
+// determinism suite can only observe at run time: every guarded field is
+// touched with its mutex held, and every REQUIRES contract is met at each
+// call site. CI compiles the tree with `-Wthread-safety -Werror` (the
+// "thread-safety" job); under GCC and MSVC every macro expands to nothing.
+//
+// The macro set mirrors the capability vocabulary from the Clang
+// documentation (and Abseil's thread_annotations.h): a mutex is a
+// *capability*, data is *guarded by* it, functions *require*, *acquire* or
+// *release* it. Use the annotated wrapper types in util/sync.hpp — the
+// standard-library mutexes are not annotated, so locking them is invisible
+// to the analysis.
+//
+// Conventions (see docs/correctness.md):
+//  * every mutex-protected member is GUARDED_BY its mutex;
+//  * private helpers called under a lock are REQUIRES(mutex_), never
+//    "caller holds the lock" comments;
+//  * condition-variable predicates are written as explicit while-loops in
+//    the locked scope, not as lambdas (a lambda body is analyzed as its own
+//    unannotated function);
+//  * NO_THREAD_SAFETY_ANALYSIS is a last resort and carries a reason.
+#ifndef DLB_UTIL_THREAD_ANNOTATIONS_HPP
+#define DLB_UTIL_THREAD_ANNOTATIONS_HPP
+
+#if defined(__clang__)
+#define DLB_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DLB_THREAD_ANNOTATION_(x)
+#endif
+
+/// Marks a class as a capability (a lockable resource) named `x` in
+/// diagnostics, e.g. DLB_CAPABILITY("mutex").
+#define DLB_CAPABILITY(x) DLB_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases a
+/// capability (lock guards).
+#define DLB_SCOPED_CAPABILITY DLB_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define DLB_GUARDED_BY(x) DLB_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define DLB_PT_GUARDED_BY(x) DLB_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function callable only while holding the given capability (the lock is
+/// neither acquired nor released by the function).
+#define DLB_REQUIRES(...) \
+    DLB_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function that acquires the capability and holds it on return.
+#define DLB_ACQUIRE(...) \
+    DLB_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function that releases a held capability.
+#define DLB_RELEASE(...) \
+    DLB_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function that acquires the capability only when it returns `ret`.
+#define DLB_TRY_ACQUIRE(ret, ...) \
+    DLB_THREAD_ANNOTATION_(try_acquire_capability(ret, __VA_ARGS__))
+
+/// Function that must be called *without* the capability held (guards
+/// against self-deadlock on non-reentrant mutexes).
+#define DLB_EXCLUDES(...) DLB_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that the function returns a reference to the given capability
+/// (accessor functions for private mutexes).
+#define DLB_RETURN_CAPABILITY(x) DLB_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Always pair with a
+/// comment explaining why the discipline cannot be expressed.
+#define DLB_NO_THREAD_SAFETY_ANALYSIS \
+    DLB_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif // DLB_UTIL_THREAD_ANNOTATIONS_HPP

@@ -1,0 +1,19 @@
+// Fixture: every banned construct below carries a dlb-lint allow marker
+// with a reason, so the file lints clean (no lint-expect lines).
+#include <chrono>
+#include <string>
+#include <unordered_map> // dlb-lint: allow(unordered) used lookup-only below
+
+long long allowed_timestamp()
+{
+    // dlb-lint: allow(clock) log decoration only, never enters a report
+    auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+std::size_t allowed_lookup(
+    // dlb-lint: allow(unordered) lookup only, never iterated
+    const std::unordered_map<std::string, int>& index)
+{
+    return index.size(); // dlb-lint: allow(unordered) size is order-free
+}

@@ -1,0 +1,13 @@
+// Fixture: a pointer-keyed ordered container iterates in allocation order.
+// lint-expect: ptr-key
+// lint-expect: ptr-key
+#include <map>
+#include <set>
+
+struct graph;
+
+int count_entries(const std::map<const graph*, int>& weights,
+                  const std::set<graph*>& visited)
+{
+    return static_cast<int>(weights.size() + visited.size());
+}

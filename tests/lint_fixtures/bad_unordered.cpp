@@ -1,0 +1,13 @@
+// Fixture: unordered containers can leak hash-iteration order into a
+// report; both the declaration and the iteration line are flagged.
+// lint-expect: unordered
+// lint-expect: unordered
+#include <string>
+#include <unordered_map>
+
+double sum_metrics(const std::unordered_map<std::string, double>& metrics)
+{
+    double total = 0.0;
+    for (const auto& [name, value] : metrics) total += value;
+    return total;
+}

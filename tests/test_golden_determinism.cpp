@@ -468,8 +468,11 @@ TEST(GoldenDeterminism, V2ConservationAcrossEnginesRoundingsWorkloads)
                 // totals, at every recorded round.
                 for (const double error : series.total_load_error)
                     EXPECT_EQ(error, 0.0) << label;
-                if (wl.kind != "drain") EXPECT_GT(series.total_injected, 0) << label;
-                if (wl.kind == "drain") EXPECT_GT(series.total_drained, 0) << label;
+                if (wl.kind != "drain") {
+                    EXPECT_GT(series.total_injected, 0) << label;
+                } else {
+                    EXPECT_GT(series.total_drained, 0) << label;
+                }
             }
         }
     }

@@ -199,8 +199,11 @@ TEST(DiscreteProcess, ScheduledFlowIntrospection)
     proc.step();
     // FOS flows: edge (0,1): 2.0, edge (1,2): 1.0 (alpha = 1/3).
     const auto scheduled = proc.last_scheduled_flows();
-    for (half_edge_id h = g.half_edge_begin(0); h < g.half_edge_end(0); ++h)
-        if (g.head(h) == 1) EXPECT_NEAR(scheduled[h], 2.0, 1e-12);
+    for (half_edge_id h = g.half_edge_begin(0); h < g.half_edge_end(0); ++h) {
+        if (g.head(h) == 1) {
+            EXPECT_NEAR(scheduled[h], 2.0, 1e-12);
+        }
+    }
     // Loads after the step: 9-2=7, 3+2-1=4, 0+1=1.
     EXPECT_EQ(proc.load()[0], 7);
     EXPECT_EQ(proc.load()[1], 4);

@@ -181,10 +181,12 @@ TEST(RngGolden, OwnerPassMatchesFullRoundingOnOwnerSides)
                         full, default_executor(), version);
             round_flows_randomized_owner(g, scheduled, 42, round, owner,
                                          default_executor(), version);
-            for (half_edge_id h = 0; h < g.num_half_edges(); ++h)
-                if (scheduled[h] > 0.0)
+            for (half_edge_id h = 0; h < g.num_half_edges(); ++h) {
+                if (scheduled[h] > 0.0) {
                     EXPECT_EQ(owner[h], full[h])
                         << "version=" << to_string(version) << " h=" << h;
+                }
+            }
         }
     }
 }

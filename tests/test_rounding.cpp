@@ -86,8 +86,11 @@ TEST_P(RoundingKinds, ExactIntegersPassThrough)
         }
     std::vector<std::int64_t> flows(scheduled.size());
     round_flows(g, GetParam(), scheduled, 1, 0, flows, default_executor());
-    for (half_edge_id h = g.half_edge_begin(0); h < g.half_edge_end(0); ++h)
-        if (g.head(h) == 1) EXPECT_EQ(flows[h], 3);
+    for (half_edge_id h = g.half_edge_begin(0); h < g.half_edge_end(0); ++h) {
+        if (g.head(h) == 1) {
+            EXPECT_EQ(flows[h], 3);
+        }
+    }
 }
 
 TEST_P(RoundingKinds, ZeroFlowsStayZero)

@@ -51,11 +51,17 @@ TEST(Scheme, FosFlowsMatchFormula)
     scheduled_flows(g, alpha, fos_scheme(), 0, load, {}, flows, default_executor());
 
     // Edge (0,1): 1/3 * (9-3) = 2 from 0's side.
-    for (half_edge_id h = g.half_edge_begin(0); h < g.half_edge_end(0); ++h)
-        if (g.head(h) == 1) EXPECT_NEAR(flows[h], 2.0, 1e-12);
+    for (half_edge_id h = g.half_edge_begin(0); h < g.half_edge_end(0); ++h) {
+        if (g.head(h) == 1) {
+            EXPECT_NEAR(flows[h], 2.0, 1e-12);
+        }
+    }
     // Edge (1,2): 1/3 * (3-0) = 1 from 1's side.
-    for (half_edge_id h = g.half_edge_begin(1); h < g.half_edge_end(1); ++h)
-        if (g.head(h) == 2) EXPECT_NEAR(flows[h], 1.0, 1e-12);
+    for (half_edge_id h = g.half_edge_begin(1); h < g.half_edge_end(1); ++h) {
+        if (g.head(h) == 2) {
+            EXPECT_NEAR(flows[h], 1.0, 1e-12);
+        }
+    }
 }
 
 TEST(Scheme, FlowsAreAntisymmetric)

@@ -29,6 +29,24 @@ TEST(ThreadPool, CoversWholeRangeExactlyOnce)
         ASSERT_EQ(touched[i].load(), 1) << "index " << i;
 }
 
+TEST(ThreadPool, DispatchDuringConstruction)
+{
+    // Regression (found by TSan): workers used to read workers_.size() for
+    // the steal heuristic while the constructor was still emplacing threads
+    // into the vector — a data race on the vector's internals. The count now
+    // lives in worker_count_, written before the first spawn. Constructing
+    // and dispatching immediately, many times, maximizes the overlap window;
+    // the TSan CI job fails here if the race ever comes back.
+    for (int iteration = 0; iteration < 20; ++iteration) {
+        thread_pool pool(8);
+        std::atomic<std::int64_t> sum{0};
+        pool.parallel_for(100000, [&](std::int64_t begin, std::int64_t end) {
+            sum.fetch_add(end - begin);
+        });
+        ASSERT_EQ(sum.load(), 100000);
+    }
+}
+
 TEST(ThreadPool, HandlesZeroAndTinyRanges)
 {
     thread_pool pool(4);

@@ -1,0 +1,260 @@
+#!/usr/bin/env python3
+"""Determinism linter for the dlb source tree.
+
+The repo's core guarantee is byte-identical reports across thread counts,
+shards, and observability settings. The golden tests prove that at run time;
+this linter stops the classic ways of *losing* it at review time, by
+scanning src/ for constructs whose output depends on wall clocks, memory
+addresses, hash-table iteration order, or ambient process state:
+
+  clock        steady/system/high_resolution_clock, clock_gettime,
+               gettimeofday anywhere but util/timer.hpp (the single
+               monotonic-clock source; everything else consumes now_ns()).
+  unordered    std::unordered_{map,set,multimap,multiset}: iteration order
+               varies across standard libraries and insertions, so anything
+               iterated out of one can silently order a report, a merge, or
+               a metrics aggregation. Use std::map/std::set, or sort first.
+  raw-random   rand()/srand()/std::random_device/time()/clock() anywhere but
+               util/rng.hpp: all engine randomness must come from the
+               versioned (seed, node, round, i) streams, never from ambient
+               entropy or the clock.
+  ptr-key      std::map/std::set keyed on a pointer type: iteration order is
+               allocation order, i.e. nondeterministic across runs.
+
+Escape hatch, for when a use is provably report-invariant:
+
+    ... offending code ...  // dlb-lint: allow(<rule>) <reason>
+
+on the offending line or the line directly above it. The reason is
+mandatory; an empty one is itself a finding.
+
+Exit codes: 0 clean, 1 findings, 2 usage or fixture-expectation errors.
+`--self-test <dir>` replays the fixture snippets in tests/lint_fixtures
+(each declares its expected findings via `// lint-expect: <rule>` lines)
+so the linter's own regressions are caught by ctest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".hpp", ".h", ".cc", ".cxx", ".hxx"}
+
+# rule name -> (regex, file allowlist (posix path suffixes), message)
+RULES = {
+    "clock": (
+        re.compile(
+            r"\b(?:steady_clock|system_clock|high_resolution_clock"
+            r"|clock_gettime|gettimeofday)\b"
+        ),
+        ("util/timer.hpp",),
+        "direct clock use; take timestamps from util/timer.hpp (now_ns)",
+    ),
+    "unordered": (
+        re.compile(r"\bunordered_(?:multi)?(?:map|set)\b"),
+        (),
+        "unordered container: iteration order can leak into reports/merges; "
+        "use std::map/std::set or sort before iterating",
+    ),
+    "raw-random": (
+        re.compile(
+            r"(?:\brandom_device\b"
+            r"|(?<![\w:.>])(?:std\s*::\s*)?(?:rand|srand|time|clock)\s*\()"
+        ),
+        ("util/rng.hpp",),
+        "ambient entropy/process state; derive randomness from the "
+        "versioned RNG streams in util/rng.hpp",
+    ),
+    "ptr-key": (
+        re.compile(
+            r"\bstd\s*::\s*(?:multi)?(?:map|set)\s*<[^<>,]*\*\s*[,>]"
+        ),
+        (),
+        "pointer-keyed ordered container: iteration order is allocation "
+        "order; key on a stable id instead",
+    ),
+}
+
+ALLOW_RE = re.compile(r"//\s*dlb-lint:\s*allow\(([\w, -]+)\)\s*(.*)")
+EXPECT_RE = re.compile(r"//\s*lint-expect:\s*([\w-]+)")
+
+STRING_OR_CHAR_RE = re.compile(
+    r'"(?:[^"\\]|\\.)*"' r"|'(?:[^'\\]|\\.)*'"
+)
+
+
+class Finding:
+    def __init__(self, path: Path, line_no: int, rule: str, text: str):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule
+        self.text = text
+
+    def __str__(self) -> str:
+        message = RULES[self.rule][2] if self.rule in RULES else self.text
+        return (
+            f"{self.path}:{self.line_no}: [{self.rule}] {message}\n"
+            f"    {self.text.strip()}"
+        )
+
+
+def strip_code_noise(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Blanks out string/char literals and comments, returning the code text
+    the rules should match against plus the block-comment state after the
+    line. Keeps the line length/layout roughly intact for readability of
+    reported snippets (matching happens on the stripped text only)."""
+    # Literals first, so comment markers inside strings don't confuse the
+    # block-comment tracking.
+    if not in_block_comment:
+        line = STRING_OR_CHAR_RE.sub('""', line)
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end == -1:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start_block = line.find("/*", i)
+        start_line = line.find("//", i)
+        if start_block != -1 and (start_line == -1 or start_block < start_line):
+            out.append(line[i:start_block])
+            i = start_block + 2
+            in_block_comment = True
+            continue
+        if start_line != -1:
+            out.append(line[i:start_line])
+            break
+        out.append(line[i:])
+        break
+    return "".join(out), in_block_comment
+
+
+def allowed_rules(raw_line: str, previous_raw_line: str) -> dict[str, str]:
+    """Rules allowlisted for this line -> reason. An allow marker covers its
+    own line and the one directly below it."""
+    allows: dict[str, str] = {}
+    for source in (previous_raw_line, raw_line):
+        match = ALLOW_RE.search(source)
+        if match is None:
+            continue
+        reason = match.group(2).strip()
+        for rule in re.split(r"[,\s]+", match.group(1).strip()):
+            if rule:
+                allows[rule] = reason
+    return allows
+
+
+def lint_file(path: Path, root: Path) -> list[Finding]:
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as error:
+        return [Finding(path, 0, "io-error", str(error))]
+
+    rel = path.relative_to(root).as_posix() if path.is_relative_to(root) \
+        else path.as_posix()
+
+    findings: list[Finding] = []
+    in_block_comment = False
+    previous_raw = ""
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        code, in_block_comment = strip_code_noise(raw, in_block_comment)
+        allows = allowed_rules(raw, previous_raw)
+        previous_raw = raw
+        for rule, (pattern, allowlist, _message) in RULES.items():
+            if any(rel.endswith(suffix) for suffix in allowlist):
+                continue
+            if not pattern.search(code):
+                continue
+            if rule in allows:
+                if not allows[rule]:
+                    findings.append(
+                        Finding(path, line_no, "empty-allow-reason",
+                                f"allow({rule}) without a reason: " + raw))
+                continue
+            findings.append(Finding(path, line_no, rule, raw))
+    return findings
+
+
+def lint_tree(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    for path in sorted(root.rglob("*")):
+        if path.suffix in SOURCE_SUFFIXES and path.is_file():
+            findings.extend(lint_file(path, root))
+    return findings
+
+
+def self_test(fixtures: Path) -> int:
+    """Replays every fixture: its `// lint-expect: <rule>` lines declare the
+    exact multiset of rules the linter must report for that file (none for
+    clean/allowlisted fixtures)."""
+    if not fixtures.is_dir():
+        print(f"determinism_lint: fixture dir not found: {fixtures}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    fixture_files = sorted(
+        p for p in fixtures.iterdir() if p.suffix in SOURCE_SUFFIXES)
+    if not fixture_files:
+        print(f"determinism_lint: no fixtures in {fixtures}", file=sys.stderr)
+        return 2
+    for path in fixture_files:
+        expected = sorted(
+            EXPECT_RE.findall(path.read_text(encoding="utf-8")))
+        got = sorted(f.rule for f in lint_file(path, fixtures))
+        if expected == got:
+            print(f"PASS {path.name}: {got or ['clean']}")
+        else:
+            failures += 1
+            print(f"FAIL {path.name}: expected {expected}, got {got}",
+                  file=sys.stderr)
+    print(f"{len(fixture_files)} fixtures, {failures} failures")
+    return 0 if failures == 0 else 2
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="determinism_lint.py",
+        description="static determinism gate for the dlb source tree")
+    parser.add_argument(
+        "--root", type=Path,
+        default=Path(__file__).resolve().parent.parent / "src",
+        help="directory to scan (default: the repo's src/)")
+    parser.add_argument(
+        "--self-test", type=Path, metavar="FIXTURE_DIR",
+        help="run against the lint fixtures instead of the tree")
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule table")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, (_pattern, allowlist, message) in RULES.items():
+            where = f" (allowed in: {', '.join(allowlist)})" if allowlist \
+                else ""
+            print(f"{rule}: {message}{where}")
+        return 0
+
+    if args.self_test is not None:
+        return self_test(args.self_test)
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"determinism_lint: not a directory: {root}", file=sys.stderr)
+        return 2
+    findings = lint_tree(root)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"determinism_lint: {len(findings)} finding(s) in {root}")
+        return 1
+    print(f"determinism_lint: clean ({root})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
