@@ -74,6 +74,29 @@ void print_usage(std::ostream& out)
            "                         same campaign definition; runs nothing,\n"
            "                         writes --csv/--json byte-identical to an\n"
            "                         unsharded run\n"
+           "  --checkpoint-every N   write an atomic engine snapshot per\n"
+           "                         scenario every N rounds to\n"
+           "                         <dir>/<index>_<label>.ckpt; requires\n"
+           "                         --checkpoint-dir. Pure output: reports\n"
+           "                         stay byte-identical\n"
+           "  --checkpoint-dir DIR   where --checkpoint-every writes its\n"
+           "                         snapshots (created if missing)\n"
+           "  --resume FILE          resume one scenario from a snapshot; it\n"
+           "                         continues from the saved round and the\n"
+           "                         reports come out byte-identical to an\n"
+           "                         uninterrupted run. The snapshot must\n"
+           "                         match this campaign (spec hash,\n"
+           "                         rng_version, stride — mismatches are\n"
+           "                         rejected naming the field)\n"
+           "  --measure-windows K    SMARTS-style windowed sampling: instead\n"
+           "                         of one long tail, run K short measured\n"
+           "                         windows from the --resume snapshot\n"
+           "                         (window 0 keeps the scenario seed, the\n"
+           "                         rest re-seed) and report mean/stddev/\n"
+           "                         95% CI of the sampled discrepancy;\n"
+           "                         --csv/--json then write the windows\n"
+           "                         report. Requires --window-rounds\n"
+           "  --window-rounds W      rounds per measured window (>= 1)\n"
            "  --threads N            parallel scenario workers (0: hardware).\n"
            "                         Fans whole scenarios out; use it when a\n"
            "                         campaign is many scenarios\n"
@@ -281,6 +304,9 @@ int main(int argc, char** argv)
         // base and sweep form. Anything else is a typo worth failing on.
         std::set<std::string> known = {"spec",    "name",   "seeds",
                                        "shard",   "shard-balance", "merge",
+                                       "checkpoint-every", "checkpoint-dir",
+                                       "resume",  "measure-windows",
+                                       "window-rounds",
                                        "lambda-cache", "threads",
                                        "engine-threads", "no-graph-cache",
                                        "no-scratch-pool", "record-every",
@@ -365,6 +391,70 @@ int main(int argc, char** argv)
         const std::int64_t resolved_stride = campaign::resolved_record_every(
             spec, args.get_int("record-every", 0));
 
+        // Windowed sampling is its own mode: it runs measured windows from
+        // one snapshot and writes the windows report, never the campaign
+        // one. Flags that drive the scenario sweep don't compose with it.
+        if (args.has("measure-windows")) {
+            if (args.has("merge"))
+                throw std::invalid_argument(
+                    "--measure-windows and --merge are exclusive");
+            if (args.has("shard"))
+                throw std::invalid_argument(
+                    "--measure-windows and --shard are exclusive");
+            if (args.has("checkpoint-every") || args.has("checkpoint-dir"))
+                throw std::invalid_argument(
+                    "--measure-windows samples from an existing snapshot; "
+                    "checkpointing flags do not apply");
+            if (args.has("manifest") || args.has("manifests"))
+                throw std::invalid_argument(
+                    "--measure-windows does not write campaign manifests");
+            if (!args.has("resume"))
+                throw std::invalid_argument(
+                    "--measure-windows needs --resume FILE (the snapshot "
+                    "to sample from)");
+            const std::string snapshot_path = args.get_string("resume", "");
+            if (snapshot_path.empty())
+                throw std::invalid_argument(
+                    "--resume needs a checkpoint file path");
+            campaign::measure_windows_options windows_options;
+            windows_options.windows = args.get_int("measure-windows", 8);
+            windows_options.window_rounds = args.get_int("window-rounds", 0);
+            if (windows_options.window_rounds < 1)
+                throw std::invalid_argument(
+                    "--measure-windows needs --window-rounds W (>= 1)");
+
+            const engine_checkpoint snapshot =
+                read_checkpoint_file(snapshot_path);
+            const campaign::measure_windows_result windows =
+                campaign::measure_windows(spec, snapshot, windows_options);
+
+            std::cout << "windows '" << windows.label << "': "
+                      << windows.samples.size() << " x "
+                      << windows.window_rounds << " rounds from round "
+                      << windows.start_round << "\n"
+                      << "  discrepancy mean=" << windows.mean
+                      << " stddev=" << windows.stddev << " ci95=+/-"
+                      << windows.ci95_half_width << "\n";
+            if (args.has("json")) {
+                const std::string path = args.get_string("json", "");
+                std::ofstream out(path);
+                if (!out) throw std::runtime_error("cannot open " + path);
+                campaign::write_windows_json(out, windows);
+                std::cout << "json -> " << path << "\n";
+            }
+            if (args.has("csv")) {
+                const std::string path = args.get_string("csv", "");
+                std::ofstream out(path);
+                if (!out) throw std::runtime_error("cannot open " + path);
+                campaign::write_windows_csv(out, windows);
+                std::cout << "csv -> " << path << "\n";
+            }
+            return 0;
+        }
+        if (args.has("window-rounds"))
+            throw std::invalid_argument(
+                "--window-rounds only applies to --measure-windows");
+
         campaign::campaign_result result;
         std::optional<obs::run_manifest> merged_manifest;
         if (args.has("merge")) {
@@ -374,6 +464,15 @@ int main(int argc, char** argv)
                 throw std::invalid_argument(
                     "--merge runs nothing, so --lambda-cache has no effect "
                     "there; pass it to the shard runs instead");
+            if (args.has("resume"))
+                throw std::invalid_argument(
+                    "--merge and --resume are exclusive: --merge runs "
+                    "nothing; resume the shard run that wrote the "
+                    "checkpoint, then merge its report");
+            if (args.has("checkpoint-every") || args.has("checkpoint-dir"))
+                throw std::invalid_argument(
+                    "--merge runs nothing, so checkpointing flags have no "
+                    "effect there; pass them to the shard runs instead");
             if (timing)
                 throw std::invalid_argument(
                     "--merge works on timing-free reports (drop --timing)");
@@ -416,6 +515,15 @@ int main(int argc, char** argv)
                 throw std::invalid_argument(
                     "--lambda-cache needs a file path (a bare flag would "
                     "silently run without the sidecar)");
+            options.checkpoint_every = args.get_int("checkpoint-every", 0);
+            options.checkpoint_dir = args.get_string("checkpoint-dir", "");
+            if (args.has("checkpoint-dir") && options.checkpoint_dir.empty())
+                throw std::invalid_argument(
+                    "--checkpoint-dir needs a directory path");
+            options.resume_path = args.get_string("resume", "");
+            if (args.has("resume") && options.resume_path.empty())
+                throw std::invalid_argument(
+                    "--resume needs a checkpoint file path");
             if (args.has("shard")) {
                 const auto shard =
                     campaign::parse_shard(args.get_string("shard", ""));

@@ -14,7 +14,10 @@
 #include "campaign/workload.hpp"
 #include "core/alpha.hpp"
 #include "core/beta.hpp"
+#include "core/checkpoint.hpp"
 #include "core/diffusion_matrix.hpp"
+#include "core/hybrid.hpp"
+#include "core/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/progress.hpp"
 #include "sim/runner.hpp"
@@ -34,6 +37,20 @@ namespace {
 constexpr std::uint64_t kLoadStream = 0x6c6f6164;
 constexpr std::uint64_t kSpeedStream = 0x73706473;
 constexpr std::uint64_t kWorkloadStream = 0x776b6c64;
+// Per-window reseeding for measure_windows ("wndw"): window k > 0 runs
+// under mix64(seed, kWindowStream, k), giving independent tail replicas.
+constexpr std::uint64_t kWindowStream = 0x776e6477;
+
+std::string hex64_string(std::uint64_t value)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = digits[value & 0xf];
+        value >>= 4;
+    }
+    return out;
+}
 
 alpha_policy resolve_alpha(const scenario_spec& spec)
 {
@@ -148,7 +165,8 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                              std::int64_t record_every,
                              const std::string& series_dir,
                              executor* engine_exec, graph_cache* cache,
-                             engine_scratch* scratch)
+                             engine_scratch* scratch,
+                             const scenario_checkpointing* checkpointing)
 {
     scenario_result result;
     result.spec = spec;
@@ -255,6 +273,17 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                                    // across scenarios instead)
         config.scratch = scratch; // nullptr: engines allocate fresh
 
+        if (checkpointing != nullptr) {
+            config.checkpoint_every = checkpointing->every;
+            if (checkpointing->every > 0)
+                config.checkpoint_path = checkpointing->dir + "/" +
+                                         std::to_string(index) + "_" +
+                                         result.label + ".ckpt";
+            config.checkpoint_spec_hash = checkpointing->spec_hash;
+            config.checkpoint_scenario_index = index;
+            config.resume = checkpointing->resume;
+        }
+
         const time_series series = run_experiment(config, initial);
 
         if (!series_dir.empty())
@@ -313,6 +342,12 @@ campaign_result detail_run(const campaign_spec& spec,
         throw std::invalid_argument(
             "campaign: the lambda sidecar is a tier of the graph cache "
             "(drop --no-graph-cache to use --lambda-cache)");
+    if (options.checkpoint_every < 0)
+        throw std::invalid_argument("campaign: checkpoint-every must be >= 0");
+    if ((options.checkpoint_every > 0) != !options.checkpoint_dir.empty())
+        throw std::invalid_argument(
+            "campaign: --checkpoint-every and --checkpoint-dir must be set "
+            "together");
 
     // Process-level sharding: the partitioner (cost_model.hpp) splits the
     // expansion either round-robin or cost-balanced; both are pure
@@ -327,12 +362,65 @@ campaign_result detail_run(const campaign_spec& spec,
     const std::int64_t record_every =
         resolved_record_every(spec, options.record_every);
 
+    // Checkpoint wiring. Snapshots carry the campaign's spec_hash, and a
+    // resume snapshot is validated here — before any scenario spends work —
+    // against the campaign it claims to belong to, this shard's assignment
+    // and the effective sampling stride. Each check names the field so a
+    // stale or mislabeled snapshot is diagnosable, never silently replayed.
+    const bool with_checkpoints =
+        options.checkpoint_every > 0 || !options.resume_path.empty();
+    const std::uint64_t campaign_hash =
+        with_checkpoints ? spec_hash(spec) : 0;
+    std::optional<engine_checkpoint> resume_snapshot;
+    if (!options.resume_path.empty()) {
+        resume_snapshot = read_checkpoint_file(options.resume_path);
+        if (resume_snapshot->spec_hash != campaign_hash)
+            throw std::invalid_argument(
+                "resume: spec_hash mismatch: " + options.resume_path +
+                " was saved under campaign spec_hash " +
+                hex64_string(resume_snapshot->spec_hash) +
+                " but this invocation's spec hashes to " +
+                hex64_string(campaign_hash) +
+                "; resume with the same campaign definition");
+        const std::int64_t target = resume_snapshot->scenario_index;
+        if (target < 0 ||
+            target >= static_cast<std::int64_t>(scenarios.size()))
+            throw std::invalid_argument(
+                "resume: scenario index " + std::to_string(target) +
+                " is outside this campaign's " +
+                std::to_string(scenarios.size()) + " scenarios");
+        const scenario_spec& target_spec =
+            scenarios[static_cast<std::size_t>(target)];
+        if (resume_snapshot->rng_version != target_spec.rng_version)
+            throw std::invalid_argument(
+                "resume: rng_version mismatch: checkpoint has " +
+                std::to_string(resume_snapshot->rng_version) +
+                " but scenario " + std::to_string(target) + " uses " +
+                std::to_string(target_spec.rng_version));
+        if (resume_snapshot->record_every != record_every)
+            throw std::invalid_argument(
+                "resume: record_every mismatch: checkpoint recorded every " +
+                std::to_string(resume_snapshot->record_every) +
+                " rounds but this invocation records every " +
+                std::to_string(record_every) +
+                " (rerun with --record-every " +
+                std::to_string(resume_snapshot->record_every) + ")");
+        if (std::find(selected.begin(), selected.end(), target) ==
+            selected.end())
+            throw std::invalid_argument(
+                "resume: scenario " + std::to_string(target) +
+                " is not in shard " + std::to_string(options.shard_index) +
+                "/" + std::to_string(options.shard_count) + "'s assignment");
+    }
+
     campaign_result result;
     result.spec = spec;
     result.scenarios.resize(selected.size());
 
     if (!options.series_dir.empty())
         std::filesystem::create_directories(options.series_dir);
+    if (!options.checkpoint_dir.empty())
+        std::filesystem::create_directories(options.checkpoint_dir);
 
     const obs::trace_span run_span("campaign", "run");
     const stopwatch watch;
@@ -385,9 +473,18 @@ campaign_result detail_run(const campaign_spec& spec,
         std::int64_t slot = 0;
         while ((slot = next.fetch_add(1)) < count) {
             const std::int64_t i = selected[static_cast<std::size_t>(slot)];
+            scenario_checkpointing checkpointing;
+            checkpointing.every = options.checkpoint_every;
+            checkpointing.dir = options.checkpoint_dir;
+            checkpointing.spec_hash = campaign_hash;
+            checkpointing.resume =
+                resume_snapshot && resume_snapshot->scenario_index == i
+                    ? &*resume_snapshot
+                    : nullptr;
             result.scenarios[slot] =
                 run_scenario(scenarios[i], i, record_every, options.series_dir,
-                             engine_pool.get(), cache_ptr, scratch_ptr);
+                             engine_pool.get(), cache_ptr, scratch_ptr,
+                             with_checkpoints ? &checkpointing : nullptr);
             if (meter) {
                 const auto& r = result.scenarios[slot];
                 meter->scenario_done(r.predicted_cost, r.wall_seconds,
@@ -459,6 +556,153 @@ std::int64_t resolved_record_every(const campaign_spec& spec,
 {
     if (record_every > 0) return record_every;
     return std::max<std::int64_t>(1, spec.base.rounds / 256);
+}
+
+measure_windows_result measure_windows(const campaign_spec& spec,
+                                       const engine_checkpoint& snapshot,
+                                       const measure_windows_options& options)
+{
+    if (options.windows < 1)
+        throw std::invalid_argument("measure_windows: windows must be >= 1");
+    if (options.window_rounds < 1)
+        throw std::invalid_argument(
+            "measure_windows: window_rounds must be >= 1");
+
+    const std::uint64_t campaign_hash = spec_hash(spec);
+    if (snapshot.spec_hash != campaign_hash)
+        throw std::invalid_argument(
+            "measure_windows: spec_hash mismatch: checkpoint was saved under "
+            "campaign spec_hash " +
+            hex64_string(snapshot.spec_hash) +
+            " but this invocation's spec hashes to " +
+            hex64_string(campaign_hash));
+
+    const std::vector<scenario_spec> scenarios = expand(spec);
+    if (snapshot.scenario_index < 0 ||
+        snapshot.scenario_index >= static_cast<std::int64_t>(scenarios.size()))
+        throw std::invalid_argument(
+            "measure_windows: scenario index " +
+            std::to_string(snapshot.scenario_index) +
+            " is outside this campaign's " + std::to_string(scenarios.size()) +
+            " scenarios");
+    const scenario_spec target =
+        scenarios[static_cast<std::size_t>(snapshot.scenario_index)];
+    if (target.process != "discrete")
+        throw std::invalid_argument(
+            "measure_windows: windowed sampling runs the discrete engine, "
+            "but the checkpointed scenario's process is '" +
+            target.process + "'");
+    if (snapshot.engine != checkpoint_engine::discrete)
+        throw std::invalid_argument(
+            "measure_windows: checkpoint holds " +
+            std::string(to_string(snapshot.engine)) +
+            " state, expected discrete");
+    if (snapshot.rng_version != target.rng_version)
+        throw std::invalid_argument(
+            "measure_windows: rng_version mismatch: checkpoint has " +
+            std::to_string(snapshot.rng_version) + " but the scenario uses " +
+            std::to_string(target.rng_version));
+
+    // Resolve the scenario instance exactly as run_scenario does; the spec
+    // hash already guarantees these inputs equal the checkpointing run's.
+    const graph g =
+        build_topology(target.topology, target.nodes, target.topology_param,
+                       topology_seed(target.seed));
+    const auto alpha = make_alpha(g, resolve_alpha(target), target.alpha_gamma);
+    const auto speeds = resolve_speeds(target, g.num_nodes());
+
+    scheme_params scheme;
+    if (target.scheme == "fos") {
+        scheme = fos_scheme();
+    } else if (target.scheme == "sos") {
+        double beta = target.beta;
+        if (beta <= 0.0) beta = beta_opt(compute_lambda(g, alpha, speeds));
+        scheme = sos_scheme(beta);
+    } else if (target.scheme == "chebyshev") {
+        scheme = chebyshev_scheme(compute_lambda(g, alpha, speeds));
+    } else {
+        throw std::invalid_argument("unknown scheme '" + target.scheme + "'");
+    }
+
+    const rounding_kind rounding = resolve_rounding(target);
+    const negative_load_policy policy = resolve_policy(target);
+    const rng_version rng = resolve_rng_version(target);
+    const switch_policy switching = resolve_switching(target);
+    const diffusion_config diffusion{&g, alpha, speeds, scheme};
+    const std::vector<std::int64_t> zeros(
+        static_cast<std::size_t>(g.num_nodes()), 0);
+
+    measure_windows_result result;
+    result.campaign = spec;
+    result.spec = target;
+    result.scenario_index = snapshot.scenario_index;
+    result.label = scenario_label(target);
+    result.start_round = snapshot.round;
+    result.window_rounds = options.window_rounds;
+
+    for (std::int64_t k = 0; k < options.windows; ++k) {
+        // Window 0 keeps the original seed: with window_rounds reaching the
+        // scenario's horizon it replays the uninterrupted tail bit for bit,
+        // which is how the tests pin this loop to the runner's.
+        const std::uint64_t window_seed =
+            k == 0 ? target.seed
+                   : mix64(target.seed, kWindowStream,
+                           static_cast<std::uint64_t>(k));
+        discrete_process engine(diffusion, zeros, rounding, window_seed,
+                                policy, nullptr, nullptr, rng);
+        engine.restore_checkpoint(snapshot.discrete);
+        hybrid_controller hybrid(switching);
+        hybrid.restore(snapshot.runner.hybrid_switched,
+                       snapshot.runner.hybrid_switch_round);
+        const auto workload = make_workload(
+            {target.workload, target.workload_rate, target.workload_amount,
+             target.workload_period},
+            g.num_nodes(), mix64(window_seed, kWorkloadStream), rng);
+
+        std::vector<std::int64_t> delta;
+        std::vector<double> load_view;
+        if (workload != nullptr) {
+            delta.resize(static_cast<std::size_t>(g.num_nodes()));
+            load_view.resize(delta.size());
+        }
+
+        const std::int64_t end = snapshot.round + options.window_rounds;
+        for (std::int64_t t = snapshot.round; t < end; ++t) {
+            const auto load = engine.load();
+            const double global = max_minus_average(load);
+            const double local = max_local_difference(g, load);
+            if (hybrid.should_switch(t, local, global))
+                engine.set_scheme(fos_scheme());
+            if (workload != nullptr) {
+                std::copy(load.begin(), load.end(), load_view.begin());
+                std::fill(delta.begin(), delta.end(), std::int64_t{0});
+                if (workload->apply(t, load_view, delta)) engine.inject(delta);
+            }
+            engine.step();
+        }
+
+        window_sample sample;
+        sample.window = k;
+        sample.seed = window_seed;
+        sample.discrepancy = max_minus_average(engine.load());
+        result.samples.push_back(sample);
+    }
+
+    double sum = 0.0;
+    for (const window_sample& sample : result.samples)
+        sum += sample.discrepancy;
+    const auto k = static_cast<double>(result.samples.size());
+    result.mean = sum / k;
+    if (result.samples.size() > 1) {
+        double squares = 0.0;
+        for (const window_sample& sample : result.samples) {
+            const double diff = sample.discrepancy - result.mean;
+            squares += diff * diff;
+        }
+        result.stddev = std::sqrt(squares / (k - 1.0));
+    }
+    result.ci95_half_width = 1.96 * result.stddev / std::sqrt(k);
+    return result;
 }
 
 } // namespace dlb::campaign

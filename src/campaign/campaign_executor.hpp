@@ -20,6 +20,10 @@
 #include "core/process.hpp"
 #include "core/scratch.hpp"
 
+namespace dlb {
+struct engine_checkpoint; // core/checkpoint.hpp
+}
+
 namespace dlb::campaign {
 
 struct campaign_options {
@@ -71,6 +75,23 @@ struct campaign_options {
     /// per machine. Requires reuse_graphs (the sidecar is a tier of that
     /// cache); missing or corrupt files degrade to recompute.
     std::string lambda_cache_path;
+
+    /// Checkpointing (core/checkpoint.hpp): when checkpoint_every > 0, each
+    /// scenario writes an atomic engine snapshot to
+    /// `<checkpoint_dir>/<index>_<label>.ckpt` every N rounds. Both knobs
+    /// must be set together. Snapshots carry the campaign's spec_hash and
+    /// the scenario's global index, and checkpointing never changes the
+    /// reports — the snapshot is pure output.
+    std::int64_t checkpoint_every = 0;
+    std::string checkpoint_dir;
+
+    /// Resume one scenario from a snapshot file. The checkpoint's spec_hash
+    /// must match this campaign's and its scenario index must be in this
+    /// shard's assignment; that scenario then continues from the saved
+    /// round (byte-identical to the uninterrupted run) while every other
+    /// scenario runs normally. Any mismatch (spec hash, rng_version, seed,
+    /// record_every, …) throws, naming the field.
+    std::string resume_path;
 
     /// Heartbeat stream (obs/progress.hpp): when non-null, a progress_meter
     /// prints one line per `heartbeat_seconds` with scenarios done, elapsed
@@ -140,19 +161,30 @@ struct campaign_result {
     std::string lambda_sidecar_error;
 };
 
+/// Per-scenario checkpoint wiring resolved by the campaign driver: the
+/// snapshot cadence/location plus (for at most one scenario) a parsed
+/// snapshot to resume from.
+struct scenario_checkpointing {
+    std::int64_t every = 0; // 0: no snapshots
+    std::string dir;
+    std::uint64_t spec_hash = 0;
+    const engine_checkpoint* resume = nullptr;
+};
+
 /// Resolves and runs one scenario; never throws — failures land in
 /// scenario_result::error so one bad cell cannot sink a sweep. A non-empty
 /// `series_dir` (must exist) also writes the recorded per-round series.
 /// `engine_exec` runs the per-round kernels (nullptr: serial); `cache`
 /// shares resolved topologies/lambdas across calls; `scratch` lends the
-/// engines pooled buffers. Results are byte-identical for every
-/// combination of the three.
+/// engines pooled buffers; `checkpointing` (optional) snapshots and/or
+/// resumes the run. Results are byte-identical for every combination.
 scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
                              std::int64_t record_every,
                              const std::string& series_dir = {},
                              executor* engine_exec = nullptr,
                              graph_cache* cache = nullptr,
-                             engine_scratch* scratch = nullptr);
+                             engine_scratch* scratch = nullptr,
+                             const scenario_checkpointing* checkpointing = nullptr);
 
 /// Executes an explicit scenario list (programmatic campaigns, e.g. the
 /// bench reproductions). The spec echoed in the result carries `name` and
@@ -170,6 +202,44 @@ campaign_result run_campaign(const campaign_spec& spec,
 /// Shared by the executor and the shard-merge validation.
 std::int64_t resolved_record_every(const campaign_spec& spec,
                                    std::int64_t record_every);
+
+/// Checkpointed windowed sampling (SMARTS-style): instead of paying for a
+/// long run's tail, run K short measured windows from one snapshot, each
+/// re-seeded, and report mean / CI of the sampled discrepancy.
+struct measure_windows_options {
+    std::int64_t windows = 8;       // K, >= 1
+    std::int64_t window_rounds = 0; // W, >= 1 (required)
+};
+
+struct window_sample {
+    std::int64_t window = 0;   // 0-based window index
+    std::uint64_t seed = 0;    // the seed this window ran under
+    double discrepancy = 0.0;  // max_minus_average after W rounds
+};
+
+struct measure_windows_result {
+    campaign_spec campaign;
+    scenario_spec spec;          // the resolved target scenario
+    std::int64_t scenario_index = 0;
+    std::string label;
+    std::int64_t start_round = 0;   // the snapshot round
+    std::int64_t window_rounds = 0; // W
+    std::vector<window_sample> samples;
+    double mean = 0.0;
+    double stddev = 0.0;          // sample standard deviation (0 for K = 1)
+    double ci95_half_width = 0.0; // 1.96 * stddev / sqrt(K)
+};
+
+/// Runs K measured windows of W rounds from `snapshot`, which must hold
+/// discrete-engine state for scenario snapshot.scenario_index of `spec`
+/// (spec_hash validated). Window 0 keeps the original seed — with
+/// W = rounds - start_round it reproduces the uninterrupted run's final
+/// discrepancy exactly — and window k derives seed_k = mix64(seed,
+/// kWindowStream, k), so samples are independent replicas of the tail.
+/// Throws std::invalid_argument on any mismatch, naming the field.
+measure_windows_result measure_windows(const campaign_spec& spec,
+                                       const engine_checkpoint& snapshot,
+                                       const measure_windows_options& options);
 
 } // namespace dlb::campaign
 

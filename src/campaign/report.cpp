@@ -562,4 +562,58 @@ void print_campaign_summary(std::ostream& out, const campaign_result& result)
         << "wall time: " << result.wall_seconds << " s\n";
 }
 
+void write_windows_csv(std::ostream& out, const measure_windows_result& result)
+{
+    const obs::trace_span span("report", "write_windows_csv");
+    out << "window,seed,start_round,window_rounds,discrepancy,mean,stddev,"
+           "ci95_half_width\n";
+    for (const window_sample& sample : result.samples) {
+        out << sample.window << "," << sample.seed << "," << result.start_round
+            << "," << result.window_rounds << ","
+            << format_double(sample.discrepancy) << ","
+            << format_double(result.mean) << "," << format_double(result.stddev)
+            << "," << format_double(result.ci95_half_width) << "\n";
+    }
+}
+
+void write_windows_json(std::ostream& out, const measure_windows_result& result)
+{
+    const obs::trace_span span("report", "write_windows_json");
+    json_writer json(out);
+    json.begin_object();
+    json.member("name", std::string_view(result.campaign.name));
+    json.member("scenario_index", result.scenario_index);
+    json.member("label", std::string_view(result.label));
+    json.member("start_round", result.start_round);
+    json.member("window_rounds", result.window_rounds);
+
+    json.key("scenario");
+    json.begin_object();
+    for (const auto& field : field_names())
+        json.member(field, std::string_view(get_field(result.spec, field)));
+    json.end_object();
+
+    json.key("windows");
+    json.begin_array();
+    for (const window_sample& sample : result.samples) {
+        json.begin_object();
+        json.member("window", sample.window);
+        json.member("seed", sample.seed);
+        json.member("discrepancy", sample.discrepancy);
+        json.end_object();
+    }
+    json.end_array();
+
+    json.key("aggregate");
+    json.begin_object();
+    json.member("samples", static_cast<std::int64_t>(result.samples.size()));
+    json.member("mean", result.mean);
+    json.member("stddev", result.stddev);
+    json.member("ci95_half_width", result.ci95_half_width);
+    json.end_object();
+
+    json.end_object();
+    out << "\n";
+}
+
 } // namespace dlb::campaign

@@ -30,6 +30,16 @@ std::vector<std::string> csv_header(bool include_timing = false);
 /// Short per-scenario console lines plus the aggregate tally.
 void print_campaign_summary(std::ostream& out, const campaign_result& result);
 
+/// Windowed-sampling report (measure_windows): one CSV row per window with
+/// the aggregate (mean / stddev / 95% CI half-width) echoed on every row.
+/// Deterministic and byte-stable like write_csv.
+void write_windows_csv(std::ostream& out, const measure_windows_result& result);
+
+/// JSON form of the windowed-sampling report: scenario echo, per-window
+/// samples and the aggregate block.
+void write_windows_json(std::ostream& out,
+                        const measure_windows_result& result);
+
 /// Reassembles a full campaign_result from shard CSV reports.
 ///
 /// `spec` must be the same campaign definition every shard ran (same spec

@@ -19,6 +19,8 @@
 
 namespace dlb {
 
+struct cumulative_engine_state; // core/checkpoint.hpp
+
 class cumulative_process {
 public:
     /// A non-null `scratch` lends this engine and its internal continuous
@@ -64,6 +66,12 @@ public:
     double max_cumulative_error() const;
 
     void set_scheme(scheme_params scheme);
+
+    /// Checkpoint support (core/checkpoint.hpp): capture / reinstate the
+    /// evolving state of this engine and its continuous twin. restore
+    /// validates shapes and throws std::invalid_argument on mismatch.
+    void save_checkpoint(cumulative_engine_state& out) const;
+    void restore_checkpoint(const cumulative_engine_state& state);
 
 private:
     continuous_process continuous_;

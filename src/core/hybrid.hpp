@@ -62,6 +62,14 @@ public:
     std::int64_t switch_round() const noexcept { return switch_round_; }
     const switch_policy& policy() const noexcept { return policy_; }
 
+    /// Checkpoint support: reinstate the one-way switch state so a resumed
+    /// run neither re-fires a past switch nor forgets one.
+    void restore(bool switched, std::int64_t switch_round) noexcept
+    {
+        switched_ = switched;
+        switch_round_ = switch_round;
+    }
+
 private:
     switch_policy policy_;
     bool switched_ = false;

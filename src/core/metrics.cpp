@@ -28,6 +28,36 @@ void imbalance_tracker::observe(double value)
     converged_ = count_ - last_improvement_ >= window_;
 }
 
+imbalance_tracker_state imbalance_tracker::state() const
+{
+    imbalance_tracker_state out;
+    out.count = count_;
+    out.last_improvement = last_improvement_;
+    out.best = best_;
+    out.converged = converged_;
+    out.trailing.assign(trailing_.begin(), trailing_.end());
+    return out;
+}
+
+void imbalance_tracker::restore(const imbalance_tracker_state& state)
+{
+    if (static_cast<std::int64_t>(state.trailing.size()) > window_)
+        throw std::invalid_argument(
+            "imbalance_tracker: checkpointed trailing window of " +
+            std::to_string(state.trailing.size()) +
+            " observations exceeds the configured window of " +
+            std::to_string(window_));
+    if (state.count < 0 || state.last_improvement < 0 ||
+        state.last_improvement > state.count)
+        throw std::invalid_argument(
+            "imbalance_tracker: inconsistent checkpointed counters");
+    count_ = state.count;
+    last_improvement_ = state.last_improvement;
+    best_ = state.best;
+    converged_ = state.converged;
+    trailing_.assign(state.trailing.begin(), state.trailing.end());
+}
+
 double imbalance_tracker::remaining() const
 {
     if (trailing_.empty()) return 0.0;

@@ -136,6 +136,18 @@ double delta_infinity(std::span<const Load> load, std::span<const double> ideal)
     return best;
 }
 
+/// Snapshot of an imbalance_tracker's evolving state (the construction
+/// parameters window/min_improvement are not part of it — they come from
+/// the experiment configuration). Used by core/checkpoint.hpp to resume a
+/// run with the plateau detector exactly where it left off.
+struct imbalance_tracker_state {
+    std::int64_t count = 0;
+    std::int64_t last_improvement = 0;
+    double best = std::numeric_limits<double>::infinity();
+    bool converged = false;
+    std::vector<double> trailing; // oldest first
+};
+
 /// Detects the paper's "remaining imbalance": the value of a metric once it
 /// "starts to fluctuate and does not visibly improve any more" (Section VI
 /// metric 5). Feed one observation per round; converged() reports a
@@ -157,6 +169,12 @@ public:
 
     std::int64_t observations() const noexcept { return count_; }
     double best() const noexcept { return best_; }
+
+    /// Checkpoint support: capture / reinstate the evolving state. restore
+    /// throws std::invalid_argument if the trailing window exceeds the
+    /// tracker's configured window.
+    imbalance_tracker_state state() const;
+    void restore(const imbalance_tracker_state& state);
 
 private:
     std::int64_t window_;

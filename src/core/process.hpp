@@ -27,6 +27,9 @@
 
 namespace dlb {
 
+struct continuous_engine_state; // core/checkpoint.hpp
+struct discrete_engine_state;   // core/checkpoint.hpp
+
 /// Everything that defines the continuous process C on a network.
 /// The graph must outlive any engine constructed from this config.
 struct diffusion_config {
@@ -93,6 +96,13 @@ public:
     /// Hybrid switching (paper Section VI-A): replaces the scheme from the
     /// next round on. Switching to SOS restarts its FOS warm-up round.
     void set_scheme(scheme_params scheme);
+
+    /// Checkpoint support (core/checkpoint.hpp): capture / reinstate the
+    /// evolving engine state. restore validates shapes and scheme and
+    /// throws std::invalid_argument on mismatch; construction parameters
+    /// (graph, alpha, speeds) are not part of the snapshot.
+    void save_checkpoint(continuous_engine_state& out) const;
+    void restore_checkpoint(const continuous_engine_state& state);
 
 private:
     diffusion_config config_;
@@ -170,6 +180,13 @@ public:
     /// The last round's scheduled (continuous) flows; introspection for
     /// deviation analyses and tests.
     std::span<const double> last_scheduled_flows() const noexcept { return scheduled_; }
+
+    /// Checkpoint support (core/checkpoint.hpp): capture / reinstate the
+    /// evolving engine state. restore validates shapes and scheme and
+    /// throws std::invalid_argument on mismatch; seed, rounding, policy and
+    /// rng version are construction parameters, not snapshot state.
+    void save_checkpoint(discrete_engine_state& out) const;
+    void restore_checkpoint(const discrete_engine_state& state);
 
 private:
     diffusion_config config_;

@@ -103,6 +103,20 @@ public:
 
     std::int64_t rounds_in_scheme() const noexcept { return round_; }
 
+    /// Last Chebyshev omega returned (1.0 until the recurrence has run).
+    /// Together with rounds_in_scheme() this is the full recurrence state,
+    /// which is what core/checkpoint.hpp snapshots.
+    double omega() const noexcept { return omega_; }
+
+    /// Checkpoint support: reinstate the recurrence mid-run so the next
+    /// next() call produces exactly scheme_beta_for_round(scheme, round).
+    void restore(scheme_params scheme, std::int64_t round, double omega)
+    {
+        scheme_ = scheme;
+        round_ = round;
+        omega_ = omega;
+    }
+
 private:
     scheme_params scheme_;
     std::int64_t round_ = 0;

@@ -29,6 +29,7 @@
 
 #include "core/alpha.hpp"
 #include "core/beta.hpp"
+#include "core/checkpoint.hpp"
 #include "core/contribution.hpp"
 #include "core/cumulative_baseline.hpp"
 #include "core/diffusion_matrix.hpp"

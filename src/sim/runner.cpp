@@ -4,13 +4,120 @@
 #include <cmath>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
+#include "core/checkpoint.hpp"
 #include "obs/obs.hpp"
 #include "sim/initial_load.hpp"
 
 namespace dlb {
 
 namespace {
+
+checkpoint_engine engine_kind_for(process_kind process)
+{
+    switch (process) {
+    case process_kind::discrete:
+        return checkpoint_engine::discrete;
+    case process_kind::continuous:
+        return checkpoint_engine::continuous;
+    case process_kind::cumulative:
+        return checkpoint_engine::cumulative;
+    }
+    return checkpoint_engine::discrete;
+}
+
+/// Rejects a snapshot that was not taken by an identically configured run.
+/// Every check names the mismatching field: a resume that would silently
+/// diverge from the uninterrupted trajectory is worse than no resume.
+void validate_resume(const experiment_config& config,
+                     const engine_checkpoint& checkpoint)
+{
+    if (config.run_continuous_twin)
+        throw std::invalid_argument(
+            "resume: the continuous twin is not checkpointed; disable "
+            "run_continuous_twin to resume");
+    if (checkpoint.spec_hash != config.checkpoint_spec_hash)
+        throw std::invalid_argument(
+            "resume: spec_hash mismatch: checkpoint was taken under " +
+            std::to_string(checkpoint.spec_hash) + " but this run expects " +
+            std::to_string(config.checkpoint_spec_hash));
+    if (checkpoint.seed != config.seed)
+        throw std::invalid_argument(
+            "resume: seed mismatch: checkpoint has " +
+            std::to_string(checkpoint.seed) + " but this run uses " +
+            std::to_string(config.seed));
+    if (checkpoint.rng_version != static_cast<std::int32_t>(config.rng))
+        throw std::invalid_argument(
+            "resume: rng_version mismatch: checkpoint has " +
+            std::to_string(checkpoint.rng_version) + " but this run uses " +
+            std::to_string(static_cast<std::int32_t>(config.rng)));
+    const checkpoint_engine expected = engine_kind_for(config.process);
+    if (checkpoint.engine != expected)
+        throw std::invalid_argument(
+            "resume: engine mismatch: checkpoint holds " +
+            std::string(to_string(checkpoint.engine)) +
+            " state but this run uses the " + std::string(to_string(expected)) +
+            " engine");
+    if (checkpoint.rounding != static_cast<std::int32_t>(config.rounding))
+        throw std::invalid_argument(
+            "resume: rounding mismatch: checkpoint has " +
+            std::string(to_string(
+                static_cast<rounding_kind>(checkpoint.rounding))) +
+            " but this run uses " + std::string(to_string(config.rounding)));
+    if (checkpoint.policy != static_cast<std::int32_t>(config.policy))
+        throw std::invalid_argument(
+            "resume: policy mismatch: checkpoint has wire value " +
+            std::to_string(checkpoint.policy) + " but this run uses " +
+            std::to_string(static_cast<std::int32_t>(config.policy)));
+    if (checkpoint.record_every != config.record_every)
+        throw std::invalid_argument(
+            "resume: record_every mismatch: checkpoint recorded every " +
+            std::to_string(checkpoint.record_every) +
+            " rounds but this run records every " +
+            std::to_string(config.record_every));
+    if (checkpoint.round > config.rounds)
+        throw std::invalid_argument(
+            "resume: checkpoint round " + std::to_string(checkpoint.round) +
+            " is beyond this run's " + std::to_string(config.rounds) +
+            " rounds");
+}
+
+void save_engine_state(const discrete_process& engine, engine_checkpoint& out)
+{
+    out.engine = checkpoint_engine::discrete;
+    engine.save_checkpoint(out.discrete);
+}
+
+void save_engine_state(const continuous_process& engine, engine_checkpoint& out)
+{
+    out.engine = checkpoint_engine::continuous;
+    engine.save_checkpoint(out.continuous);
+}
+
+void save_engine_state(const cumulative_process& engine, engine_checkpoint& out)
+{
+    out.engine = checkpoint_engine::cumulative;
+    engine.save_checkpoint(out.cumulative);
+}
+
+void restore_engine_state(discrete_process& engine,
+                          const engine_checkpoint& checkpoint)
+{
+    engine.restore_checkpoint(checkpoint.discrete);
+}
+
+void restore_engine_state(continuous_process& engine,
+                          const engine_checkpoint& checkpoint)
+{
+    engine.restore_checkpoint(checkpoint.continuous);
+}
+
+void restore_engine_state(cumulative_process& engine,
+                          const engine_checkpoint& checkpoint)
+{
+    engine.restore_checkpoint(checkpoint.cumulative);
+}
 
 /// Shared run loop over the three engine types. `Engine` provides step(),
 /// load(), set_scheme() and negative_stats(); `twin` (optional) is stepped
@@ -20,11 +127,6 @@ time_series run_loop(Engine& engine, const experiment_config& config,
                      continuous_process* twin)
 {
     const graph& g = *config.diffusion.network;
-    const auto load0 = engine.load();
-    const double total0 =
-        std::accumulate(load0.begin(), load0.end(), 0.0,
-                        [](double acc, auto v) { return acc + static_cast<double>(v); });
-    std::vector<double> ideal = config.diffusion.speeds.ideal_load(total0);
 
     hybrid_controller hybrid(config.switching);
     imbalance_tracker tracker(config.imbalance_window);
@@ -34,10 +136,45 @@ time_series run_loop(Engine& engine, const experiment_config& config,
 
     // Dynamic-workload state: the conservation baseline follows the injected
     // tokens, and the ideal vector is recomputed when the total changes.
+    // `ideal_basis` remembers which total the current ideal vector came
+    // from, so a resumed run rebuilds bitwise the same vector the
+    // uninterrupted run was carrying at the snapshot round.
     const bool dynamic = config.workload != nullptr;
-    double baseline_total = total0;
+    std::int64_t start_round = 0;
+    double baseline_total = 0.0;
+    double ideal_basis = 0.0;
     bool ideal_stale = false; // injected rounds invalidate `ideal`; recompute
                               // lazily, only when a recorded round reads it
+
+    if (config.resume != nullptr) {
+        const engine_checkpoint& checkpoint = *config.resume;
+        restore_engine_state(engine, checkpoint);
+        const runner_checkpoint_state& saved = checkpoint.runner;
+        hybrid.restore(saved.hybrid_switched, saved.hybrid_switch_round);
+        tracker.restore(saved.tracker);
+        out.rounds = saved.rounds;
+        out.max_minus_average = saved.max_minus_average;
+        out.max_local_difference = saved.max_local_difference;
+        out.potential_over_n = saved.potential_over_n;
+        out.min_load = saved.min_load;
+        out.min_transient_load = saved.min_transient_load;
+        out.total_load_error = saved.total_load_error;
+        out.switch_round = saved.switch_round;
+        out.total_injected = saved.total_injected;
+        out.total_drained = saved.total_drained;
+        baseline_total = saved.baseline_total;
+        ideal_basis = saved.ideal_basis;
+        ideal_stale = saved.ideal_stale;
+        start_round = checkpoint.round;
+    } else {
+        const auto load0 = engine.load();
+        baseline_total = std::accumulate(
+            load0.begin(), load0.end(), 0.0,
+            [](double acc, auto v) { return acc + static_cast<double>(v); });
+        ideal_basis = baseline_total;
+    }
+    std::vector<double> ideal = config.diffusion.speeds.ideal_load(ideal_basis);
+
     std::vector<std::int64_t> delta;
     std::vector<double> load_view;
     if (dynamic) {
@@ -45,7 +182,44 @@ time_series run_loop(Engine& engine, const experiment_config& config,
         load_view.resize(delta.size());
     }
 
-    for (std::int64_t t = 0;; ++t) {
+    for (std::int64_t t = start_round;; ++t) {
+        if (config.checkpoint_every > 0 && t > start_round &&
+            t % config.checkpoint_every == 0 && t != config.rounds) {
+            static obs::histogram& checkpoint_ns =
+                obs::registry_histogram("engine.checkpoint_ns");
+            const obs::phase_scope phase("engine", "checkpoint",
+                                         &checkpoint_ns);
+            engine_checkpoint snapshot;
+            snapshot.spec_hash = config.checkpoint_spec_hash;
+            snapshot.scenario_index = config.checkpoint_scenario_index;
+            snapshot.rng_version = static_cast<std::int32_t>(config.rng);
+            snapshot.seed = config.seed;
+            snapshot.round = t;
+            snapshot.rng_check = checkpoint_rng_check(snapshot.rng_version,
+                                                      snapshot.seed, t);
+            snapshot.rounding = static_cast<std::int32_t>(config.rounding);
+            snapshot.policy = static_cast<std::int32_t>(config.policy);
+            snapshot.record_every = config.record_every;
+            save_engine_state(engine, snapshot);
+            snapshot.runner.rounds = out.rounds;
+            snapshot.runner.max_minus_average = out.max_minus_average;
+            snapshot.runner.max_local_difference = out.max_local_difference;
+            snapshot.runner.potential_over_n = out.potential_over_n;
+            snapshot.runner.min_load = out.min_load;
+            snapshot.runner.min_transient_load = out.min_transient_load;
+            snapshot.runner.total_load_error = out.total_load_error;
+            snapshot.runner.switch_round = out.switch_round;
+            snapshot.runner.total_injected = out.total_injected;
+            snapshot.runner.total_drained = out.total_drained;
+            snapshot.runner.hybrid_switched = hybrid.switched();
+            snapshot.runner.hybrid_switch_round = hybrid.switch_round();
+            snapshot.runner.tracker = tracker.state();
+            snapshot.runner.baseline_total = baseline_total;
+            snapshot.runner.ideal_basis = ideal_basis;
+            snapshot.runner.ideal_stale = ideal_stale;
+            write_checkpoint_file(config.checkpoint_path, snapshot);
+        }
+
         const auto load = engine.load();
         const double global = max_minus_average(load);
         const double local = max_local_difference(g, load);
@@ -53,7 +227,8 @@ time_series run_loop(Engine& engine, const experiment_config& config,
 
         if (t % config.record_every == 0 || t == config.rounds) {
             if (ideal_stale) {
-                ideal = config.diffusion.speeds.ideal_load(baseline_total);
+                ideal_basis = baseline_total;
+                ideal = config.diffusion.speeds.ideal_load(ideal_basis);
                 ideal_stale = false;
             }
             out.rounds.push_back(t);
@@ -127,6 +302,13 @@ experiment_outcome run_experiment_with_final_load(
         throw std::invalid_argument("run_experiment: null network");
     if (config.rounds < 0)
         throw std::invalid_argument("run_experiment: negative round count");
+    if (config.checkpoint_every < 0)
+        throw std::invalid_argument(
+            "run_experiment: negative checkpoint_every");
+    if (config.checkpoint_every > 0 && config.checkpoint_path.empty())
+        throw std::invalid_argument(
+            "run_experiment: checkpoint_every > 0 requires checkpoint_path");
+    if (config.resume != nullptr) validate_resume(config, *config.resume);
 
     experiment_outcome outcome;
 

@@ -17,6 +17,8 @@
 
 namespace dlb {
 
+struct engine_checkpoint; // core/checkpoint.hpp
+
 /// Which engine executes the run.
 enum class process_kind {
     discrete,   // discrete_process with the configured rounding
@@ -71,6 +73,24 @@ struct experiment_config {
     workload_hook* workload = nullptr;
 
     executor* exec = nullptr; // nullptr: serial
+
+    /// Checkpointing (core/checkpoint.hpp). When checkpoint_every > 0, an
+    /// atomic snapshot of engine + runner state is written to
+    /// checkpoint_path every N rounds (skipping round 0 and the final
+    /// round). The spec hash and scenario index are opaque tokens stamped
+    /// into each snapshot and validated on resume.
+    std::int64_t checkpoint_every = 0;
+    std::string checkpoint_path;
+    std::uint64_t checkpoint_spec_hash = 0;
+    std::int64_t checkpoint_scenario_index = 0;
+
+    /// Resume from a parsed snapshot instead of round 0. The checkpoint's
+    /// seed, rng_version, rounding, policy, record_every, engine kind and
+    /// spec hash must all match this config — any mismatch throws
+    /// std::invalid_argument naming the field. The resumed run's series is
+    /// byte-identical to the uninterrupted run's. Must outlive the run;
+    /// incompatible with run_continuous_twin.
+    const engine_checkpoint* resume = nullptr;
 
     /// Optional per-worker buffer pool lent to the engines (campaign sweeps
     /// reuse one pool across consecutive scenarios on a worker). Results

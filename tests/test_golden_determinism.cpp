@@ -19,6 +19,7 @@
 //     affordable because the engines carry the omega recurrence in O(1)).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "core/alpha.hpp"
 #include "obs/obs.hpp"
 #include "core/beta.hpp"
+#include "core/checkpoint.hpp"
 #include "core/diffusion_matrix.hpp"
 #include "core/process.hpp"
 #include "core/rounding.hpp"
@@ -306,6 +308,77 @@ TEST(GoldenDeterminism, SeriesByteIdenticalAcrossExecutorsBothRngVersions)
             expect_series_identical(serial, pooled,
                                     label + " workers=" + std::to_string(workers));
         }
+    }
+}
+
+TEST(GoldenDeterminism, SaveResumeSeriesByteIdenticalAcrossGrid)
+{
+    // The checkpoint contract over the same grid as the executor test:
+    // a checkpointing run records the identical series (snapshots are pure
+    // output), and resuming from the last snapshot finishes with the
+    // identical series — both compared byte-for-byte against the
+    // uninterrupted run, for both RNG stream formats and all three engines.
+    const graph g = make_torus_2d(12, 12);
+    const auto alpha = make_alpha(g, alpha_policy::max_degree_plus_one);
+    const auto speeds = speed_profile::bimodal(g.num_nodes(), 0.25, 4.0, 5);
+    const auto initial = point_load(g.num_nodes(), 0, g.num_nodes() * 100LL);
+
+    std::vector<determinism_grid_case> grid;
+    for (const auto rng : {rng_version::v1, rng_version::v2})
+        for (const auto rounding :
+             {rounding_kind::randomized, rounding_kind::floor,
+              rounding_kind::nearest, rounding_kind::bernoulli_edge})
+            grid.push_back({process_kind::discrete, rounding,
+                            negative_load_policy::allow, rng});
+    grid.push_back({process_kind::discrete, rounding_kind::randomized,
+                    negative_load_policy::prevent, rng_version::v1});
+    grid.push_back({process_kind::discrete, rounding_kind::bernoulli_edge,
+                    negative_load_policy::prevent, rng_version::v2});
+    grid.push_back({process_kind::continuous, rounding_kind::randomized,
+                    negative_load_policy::allow, rng_version::v1});
+    grid.push_back({process_kind::cumulative, rounding_kind::randomized,
+                    negative_load_policy::allow, rng_version::v1});
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto& cell = grid[i];
+        experiment_config config;
+        config.diffusion = {&g, alpha, speeds, sos_scheme(1.7)};
+        config.process = cell.process;
+        config.rounding = cell.rounding;
+        config.policy = cell.policy;
+        config.rng = cell.rng;
+        config.seed = 77;
+        config.rounds = 300;
+        config.record_every = 7;
+
+        const std::string label =
+            "cell " + std::to_string(i) + " (" +
+            std::string(to_string(cell.rounding)) + "/rng" +
+            std::string(to_string(cell.rng)) + ")";
+        const std::string path = testing::TempDir() + "dlb_golden_resume_" +
+                                 std::to_string(i) + ".ckpt";
+
+        const time_series full = run_experiment(config, initial);
+
+        config.checkpoint_every = 90;
+        config.checkpoint_path = path;
+        const time_series checkpointed = run_experiment(config, initial);
+        expect_series_identical(full, checkpointed,
+                                label + " with checkpointing on");
+
+        // Snapshots landed at rounds 90, 180 and 270; the file holds the
+        // last one. Resume must replay rounds 270..300 bit-for-bit.
+        const engine_checkpoint snapshot = read_checkpoint_file(path);
+        EXPECT_EQ(snapshot.round, 270) << label;
+
+        experiment_config resume_config = config;
+        resume_config.checkpoint_every = 0;
+        resume_config.checkpoint_path.clear();
+        resume_config.resume = &snapshot;
+        const time_series resumed = run_experiment(resume_config, initial);
+        expect_series_identical(full, resumed, label + " resumed");
+
+        std::remove(path.c_str());
     }
 }
 
