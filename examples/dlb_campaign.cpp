@@ -24,7 +24,9 @@
 // Reports are byte-identical for any --threads value, with or without
 // --shard + --merge, and with or without graph caching / scratch pooling;
 // add --timing to include (nondeterministic) wall-clock fields.
+#include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <optional>
@@ -70,6 +72,23 @@ void print_usage(std::ostream& out)
            "                         machine. Missing/corrupt files\n"
            "                         degrade to recompute; requires the\n"
            "                         graph cache\n"
+           "  --queue DIR            fault-tolerant lease-queue mode: this\n"
+           "                         invocation becomes one worker on the\n"
+           "                         shared queue directory (any number of\n"
+           "                         processes/machines sharing DIR cooperate\n"
+           "                         on one sweep). Workers lease scenarios\n"
+           "                         heaviest-first, take over leases whose\n"
+           "                         holder died (resuming from its newest\n"
+           "                         valid checkpoint when --checkpoint-dir\n"
+           "                         is shared), and each writes the full\n"
+           "                         merged report — byte-identical to an\n"
+           "                         unsharded run. Exclusive with --shard,\n"
+           "                         --merge and --resume\n"
+           "  --lease-expiry SECS    queue mode: a cross-host worker whose\n"
+           "                         heartbeat is older than SECS is treated\n"
+           "                         as dead and its lease re-assigned\n"
+           "                         (same-host death is detected by pid,\n"
+           "                         immediately). Default 30\n"
            "  --merge A.csv,B.csv    merge shard CSV reports written with the\n"
            "                         same campaign definition; runs nothing,\n"
            "                         writes --csv/--json byte-identical to an\n"
@@ -303,6 +322,7 @@ int main(int argc, char** argv)
         // Known option names: harness flags plus every scenario field in
         // base and sweep form. Anything else is a typo worth failing on.
         std::set<std::string> known = {"spec",    "name",   "seeds",
+                                       "queue",   "lease-expiry",
                                        "shard",   "shard-balance", "merge",
                                        "checkpoint-every", "checkpoint-dir",
                                        "resume",  "measure-windows",
@@ -401,6 +421,9 @@ int main(int argc, char** argv)
             if (args.has("shard"))
                 throw std::invalid_argument(
                     "--measure-windows and --shard are exclusive");
+            if (args.has("queue"))
+                throw std::invalid_argument(
+                    "--measure-windows and --queue are exclusive");
             if (args.has("checkpoint-every") || args.has("checkpoint-dir"))
                 throw std::invalid_argument(
                     "--measure-windows samples from an existing snapshot; "
@@ -460,6 +483,10 @@ int main(int argc, char** argv)
         if (args.has("merge")) {
             if (args.has("shard"))
                 throw std::invalid_argument("--merge and --shard are exclusive");
+            if (args.has("queue"))
+                throw std::invalid_argument(
+                    "--merge and --queue are exclusive: every queue worker "
+                    "already writes the full merged report");
             if (args.has("lambda-cache"))
                 throw std::invalid_argument(
                     "--merge runs nothing, so --lambda-cache has no effect "
@@ -524,6 +551,33 @@ int main(int argc, char** argv)
             if (args.has("resume") && options.resume_path.empty())
                 throw std::invalid_argument(
                     "--resume needs a checkpoint file path");
+            if (args.has("queue")) {
+                if (args.has("shard"))
+                    throw std::invalid_argument(
+                        "--queue and --shard are exclusive (the queue "
+                        "assigns scenarios dynamically)");
+                if (args.has("shard-balance"))
+                    throw std::invalid_argument(
+                        "--queue and --shard-balance are exclusive: lease "
+                        "order is always cost-descending (LPT)");
+                if (args.has("resume"))
+                    throw std::invalid_argument(
+                        "--queue and --resume are exclusive: queue workers "
+                        "resume from the shared --checkpoint-dir "
+                        "automatically");
+                options.queue_dir = args.get_string("queue", "");
+                if (options.queue_dir.empty())
+                    throw std::invalid_argument(
+                        "--queue needs a directory path");
+                const double expiry = args.get_double("lease-expiry", 30.0);
+                if (expiry <= 0.0)
+                    throw std::invalid_argument(
+                        "--lease-expiry must be positive seconds");
+                options.lease_expiry_seconds = expiry;
+            } else if (args.has("lease-expiry")) {
+                throw std::invalid_argument(
+                    "--lease-expiry only applies to --queue");
+            }
             if (args.has("shard")) {
                 const auto shard =
                     campaign::parse_shard(args.get_string("shard", ""));
@@ -554,6 +608,12 @@ int main(int argc, char** argv)
                       << result.lambda_sidecar_error << "\n";
 
         campaign::print_campaign_summary(std::cout, result);
+        if (result.queue.queue_mode)
+            std::cout << "queue: completed=" << result.queue.completed
+                      << " leased=" << result.queue.leased
+                      << " re-leased=" << result.queue.re_leased
+                      << " resumed=" << result.queue.resumed
+                      << " stolen=" << result.queue.stolen << "\n";
         if (timing && !args.has("merge"))
             std::cout << "cache: graph hits=" << result.cache.graph_hits
                       << " misses=" << result.cache.graph_misses
@@ -562,18 +622,54 @@ int main(int argc, char** argv)
                       << " sidecar_loaded=" << result.lambda_sidecar_loaded
                       << "\n";
 
+        // In queue mode several workers are often pointed at the same
+        // report paths; each writes identical bytes, but a plain ofstream
+        // truncate-then-write would let a reader (or a crash) observe a
+        // partial file. Queue-mode reports go through temp + rename.
+        const bool atomic_reports = result.queue.queue_mode;
+        const auto write_report =
+            [&](const std::string& path,
+                const std::function<void(std::ostream&)>& emit) {
+                if (atomic_reports) {
+                    std::ostringstream bytes;
+                    emit(bytes);
+                    const std::string temp = temp_path_for(path);
+                    {
+                        std::ofstream out(temp, std::ios::binary);
+                        if (!out)
+                            throw std::runtime_error("cannot open " + temp);
+                        out << bytes.str();
+                        if (!out.flush())
+                            throw std::runtime_error("write failed for " +
+                                                     temp);
+                    }
+                    std::error_code ec;
+                    std::filesystem::rename(temp, path, ec);
+                    if (ec) {
+                        std::error_code cleanup_ec;
+                        std::filesystem::remove(temp, cleanup_ec);
+                        throw std::runtime_error("cannot rename " + temp +
+                                                 " to " + path + ": " +
+                                                 ec.message());
+                    }
+                    return;
+                }
+                std::ofstream out(path);
+                if (!out) throw std::runtime_error("cannot open " + path);
+                emit(out);
+            };
         if (args.has("json")) {
             const std::string path = args.get_string("json", "");
-            std::ofstream out(path);
-            if (!out) throw std::runtime_error("cannot open " + path);
-            campaign::write_json(out, result, timing);
+            write_report(path, [&](std::ostream& out) {
+                campaign::write_json(out, result, timing);
+            });
             std::cout << "json -> " << path << "\n";
         }
         if (args.has("csv")) {
             const std::string path = args.get_string("csv", "");
-            std::ofstream out(path);
-            if (!out) throw std::runtime_error("cannot open " + path);
-            campaign::write_csv(out, result, timing);
+            write_report(path, [&](std::ostream& out) {
+                campaign::write_csv(out, result, timing);
+            });
             std::cout << "csv -> " << path << "\n";
         }
 
@@ -605,6 +701,23 @@ int main(int argc, char** argv)
                 if (!args.has("merge"))
                     manifest.set("scenarios_run",
                                  std::to_string(result.scenarios.size()));
+                // Lease-mode provenance: the queue directory identifies
+                // the fleet (its meta file pins spec_hash/count/stride for
+                // every joining worker — the same invariants shard
+                // manifests are checked for at --merge), and the lease
+                // counters record what this worker actually did.
+                if (result.queue.queue_mode) {
+                    manifest.set("mode", "queue");
+                    manifest.set("queue_dir", args.get_string("queue", ""));
+                    manifest.set("queue_completed",
+                                 std::to_string(result.queue.completed));
+                    manifest.set("queue_re_leased",
+                                 std::to_string(result.queue.re_leased));
+                    manifest.set("queue_resumed",
+                                 std::to_string(result.queue.resumed));
+                    manifest.set("queue_stolen",
+                                 std::to_string(result.queue.stolen));
+                }
             }
             obs::write_manifest_file(path, manifest);
             std::cout << "manifest -> " << path << "\n";

@@ -10,6 +10,7 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "campaign/orchestrator.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/workload.hpp"
 #include "core/alpha.hpp"
@@ -25,6 +26,7 @@
 #include "util/csv.hpp" // format_double
 #include "util/rng.hpp"
 #include "util/sync.hpp"
+#include "util/tempfile.hpp"
 #include "util/timer.hpp"
 
 namespace dlb::campaign {
@@ -282,6 +284,7 @@ scenario_result run_scenario(const scenario_spec& spec, std::int64_t index,
             config.checkpoint_spec_hash = checkpointing->spec_hash;
             config.checkpoint_scenario_index = index;
             config.resume = checkpointing->resume;
+            config.after_checkpoint = checkpointing->after_checkpoint;
         }
 
         const time_series series = run_experiment(config, initial);
@@ -334,6 +337,11 @@ campaign_result detail_run(const campaign_spec& spec,
                            const std::vector<scenario_spec>& scenarios,
                            const campaign_options& options)
 {
+    if (!options.queue_dir.empty())
+        throw std::invalid_argument(
+            "campaign: lease-queue runs go through run_queue_campaign "
+            "(run_campaign dispatches on queue_dir; run_scenarios has no "
+            "queue mode)");
     if (options.shard_count < 1)
         throw std::invalid_argument("campaign: shard count must be >= 1");
     if (options.shard_index < 0 || options.shard_index >= options.shard_count)
@@ -419,8 +427,13 @@ campaign_result detail_run(const campaign_spec& spec,
 
     if (!options.series_dir.empty())
         std::filesystem::create_directories(options.series_dir);
-    if (!options.checkpoint_dir.empty())
+    if (!options.checkpoint_dir.empty()) {
         std::filesystem::create_directories(options.checkpoint_dir);
+        // A killed run leaves `<ckpt>.tmp.<pid>.<n>` orphans next to its
+        // snapshots; sweep the ones whose writer is provably gone so crash
+        // loops don't strew the directory (live co-shards are untouched).
+        sweep_stale_temp_files(options.checkpoint_dir);
+    }
 
     const obs::trace_span run_span("campaign", "run");
     const stopwatch watch;
@@ -548,6 +561,7 @@ campaign_result run_scenarios(const std::string& name,
 campaign_result run_campaign(const campaign_spec& spec,
                              const campaign_options& options)
 {
+    if (!options.queue_dir.empty()) return run_queue_campaign(spec, options);
     return detail_run(spec, expand(spec), options);
 }
 

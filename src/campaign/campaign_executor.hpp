@@ -10,6 +10,7 @@
 #define DLB_CAMPAIGN_CAMPAIGN_EXECUTOR_HPP
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -85,6 +86,23 @@ struct campaign_options {
     std::int64_t checkpoint_every = 0;
     std::string checkpoint_dir;
 
+    /// Lease-queue orchestration (campaign/orchestrator.hpp): when
+    /// non-empty, this invocation becomes one worker on the shared queue
+    /// directory instead of running a static partition. Mutually exclusive
+    /// with --shard (shard_index/shard_count must stay 0/1) and with
+    /// resume_path (queue workers resume from checkpoints automatically).
+    /// The final result is the full merged campaign, byte-identical to an
+    /// unsharded run.
+    std::string queue_dir;
+    /// Queue-mode heartbeat cadence: how often this worker touches its
+    /// heartbeat file (and how long it idles between queue polls).
+    double lease_heartbeat_seconds = 1.0;
+    /// Queue-mode takeover threshold: a cross-host holder whose heartbeat
+    /// mtime trails ours by more than this is treated as dead and its lease
+    /// is re-assigned. Same-host holders are probed by pid instead, so
+    /// kill-9 recovery does not wait on this.
+    double lease_expiry_seconds = 30.0;
+
     /// Resume one scenario from a snapshot file. The checkpoint's spec_hash
     /// must match this campaign's and its scenario index must be in this
     /// shard's assignment; that scenario then continues from the saved
@@ -143,10 +161,26 @@ struct scenario_result {
     double predicted_cost = 0.0;
 };
 
+/// One worker's lease-queue activity (campaign_result::queue; all zero
+/// outside --queue mode). `stolen` counts completions on a lease some
+/// other holder took first; `re_leased` counts leases this worker took
+/// over from a dead/expired holder; `resumed` counts re-leases that
+/// continued from a valid checkpoint instead of starting over.
+struct queue_worker_stats {
+    bool queue_mode = false;
+    std::int64_t completed = 0;
+    std::int64_t leased = 0;
+    std::int64_t re_leased = 0;
+    std::int64_t resumed = 0;
+    std::int64_t stolen = 0;
+};
+
 struct campaign_result {
     campaign_spec spec;
     std::vector<scenario_result> scenarios;
     double wall_seconds = 0.0;
+    /// Lease-queue activity of the worker that produced this result.
+    queue_worker_stats queue;
     /// Resolution-cache counters for this run (all zero when the result was
     /// assembled by merge_shard_csv or the graph cache was disabled). A
     /// warm lambda sidecar shows up as lambda_misses == 0: every lookup
@@ -169,6 +203,10 @@ struct scenario_checkpointing {
     std::string dir;
     std::uint64_t spec_hash = 0;
     const engine_checkpoint* resume = nullptr;
+    /// Forwarded to experiment_config::after_checkpoint: fires with the
+    /// snapshot round after each checkpoint file lands (crash-recovery
+    /// tests kill the process here). Pure observability.
+    std::function<void(std::int64_t)> after_checkpoint;
 };
 
 /// Resolves and runs one scenario; never throws — failures land in

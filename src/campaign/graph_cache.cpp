@@ -7,11 +7,10 @@
 
 #include <filesystem>
 
-#include <unistd.h> // getpid, for collision-free sidecar temp names
-
 #include "campaign/registry.hpp"
 #include "obs/obs.hpp"
 #include "util/csv.hpp" // format_double
+#include "util/tempfile.hpp"
 
 namespace dlb::campaign {
 
@@ -159,6 +158,17 @@ double graph_cache::lambda(const std::string& key,
 
 std::size_t graph_cache::load_lambda_sidecar(const std::string& path)
 {
+    // Crash-orphaned save temps (`<sidecar>.tmp.<dead pid>.<n>`) can never
+    // shadow the sidecar — reads go to `path` only — but a killed shard
+    // would otherwise leave one behind per interrupted save forever. Sweep
+    // exactly this file's orphans; live pids (a co-running shard mid-save)
+    // are never touched.
+    const std::filesystem::path target(path);
+    sweep_stale_temp_files(target.has_parent_path()
+                               ? target.parent_path().string()
+                               : std::string("."),
+                           target.filename().string() + ".tmp.");
+
     const auto entries = read_sidecar(path);
 
     std::size_t loaded = 0;
@@ -196,15 +206,18 @@ std::size_t graph_cache::save_lambda_sidecar(const std::string& path) const
                 entries[key] = slot->value;
     }
 
-    // Temp + rename: the destination path always holds either the old or
-    // the new complete file, never a partial write. The pid suffix keeps
-    // concurrently-saving shard processes off each other's temp files, and
-    // the process-wide counter keeps concurrent saves within one process
-    // (two run_campaign calls sharing a path) off each other's too.
-    static std::atomic<std::uint64_t> save_serial{0};
-    const std::string temp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
-        std::to_string(save_serial.fetch_add(1, std::memory_order_relaxed));
+    // Temp + rename (util/tempfile.hpp naming): the destination path always
+    // holds either the old or the new complete file, never a partial write.
+    // The pid suffix keeps concurrently-saving shard processes off each
+    // other's temp files, and the process-wide serial keeps concurrent
+    // saves within one process (two run_campaign calls sharing a path) off
+    // each other's too. Every failure throws naming the path — a silently
+    // skipped save would quietly degrade the warm cache back to recompute.
+    // Cleanup uses the non-throwing remove overload so a failing cleanup
+    // (the same unwritable directory, usually) can never mask the original
+    // error with a secondary filesystem_error.
+    const std::string temp = temp_path_for(path);
+    std::error_code cleanup_ec;
     {
         std::ofstream out(temp, std::ios::trunc);
         if (!out)
@@ -215,14 +228,14 @@ std::size_t graph_cache::save_lambda_sidecar(const std::string& path) const
         out.flush();
         if (!out) {
             out.close();
-            std::filesystem::remove(temp);
+            std::filesystem::remove(temp, cleanup_ec);
             throw std::runtime_error("lambda sidecar: write failed for " + temp);
         }
     }
     std::error_code ec;
     std::filesystem::rename(temp, path, ec);
     if (ec) {
-        std::filesystem::remove(temp);
+        std::filesystem::remove(temp, cleanup_ec);
         throw std::runtime_error("lambda sidecar: cannot rename " + temp +
                                  " to " + path + ": " + ec.message());
     }

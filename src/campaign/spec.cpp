@@ -244,18 +244,25 @@ std::vector<std::string> split_list(const std::string& csv)
 
 shard_part parse_shard(const std::string& text)
 {
+    // Every failure names the --shard flag (the PR 5 full-token parsing
+    // contract): a bad token in a long launch script should point straight
+    // at the argument to fix, not at an internal key.
     const auto slash = text.find('/');
     if (slash == std::string::npos || slash == 0 || slash + 1 == text.size())
-        throw std::invalid_argument("shard: expected i/N, got '" + text + "'");
+        throw std::invalid_argument("--shard: expected i/N, got '" + text +
+                                    "'");
     shard_part shard;
-    shard.index = parse_int("shard index", trim(text.substr(0, slash)));
-    shard.count = parse_int("shard count", trim(text.substr(slash + 1)));
+    shard.index = parse_full_int64(trim(text.substr(0, slash)),
+                                   "--shard: bad index in '" + text + "'");
+    shard.count = parse_full_int64(trim(text.substr(slash + 1)),
+                                   "--shard: bad count in '" + text + "'");
     if (shard.count < 1)
-        throw std::invalid_argument("shard: count must be >= 1");
+        throw std::invalid_argument("--shard: count must be >= 1, got '" +
+                                    text + "'");
     if (shard.index < 0 || shard.index >= shard.count)
-        throw std::invalid_argument("shard: index " + std::to_string(shard.index) +
-                                    " out of range for count " +
-                                    std::to_string(shard.count));
+        throw std::invalid_argument(
+            "--shard: index " + std::to_string(shard.index) +
+            " out of range for count " + std::to_string(shard.count));
     return shard;
 }
 

@@ -1,8 +1,5 @@
 #include "core/checkpoint.hpp"
 
-#include <unistd.h> // getpid, for the atomic-save temp suffix
-
-#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -10,6 +7,7 @@
 
 #include "core/cumulative_baseline.hpp"
 #include "util/rng.hpp"
+#include "util/tempfile.hpp"
 
 namespace dlb {
 
@@ -561,13 +559,13 @@ void write_checkpoint_file(const std::string& path,
 {
     const std::string image = serialize_checkpoint(checkpoint);
 
-    // Temp + rename, like the lambda sidecar: the destination path always
+    // Temp + rename (util/tempfile.hpp naming): the destination path always
     // holds a complete old or new snapshot, never a partial write — which
-    // is the whole point of checkpointing against crashes.
-    static std::atomic<std::uint64_t> save_serial{0};
-    const std::string temp =
-        path + ".tmp." + std::to_string(static_cast<long>(::getpid())) + "." +
-        std::to_string(save_serial.fetch_add(1, std::memory_order_relaxed));
+    // is the whole point of checkpointing against crashes. Cleanup uses the
+    // non-throwing remove overload so a failing cleanup can never mask the
+    // original error with a secondary filesystem_error.
+    const std::string temp = temp_path_for(path);
+    std::error_code cleanup_ec;
     {
         std::ofstream out(temp, std::ios::binary | std::ios::trunc);
         if (!out)
@@ -576,14 +574,14 @@ void write_checkpoint_file(const std::string& path,
         out.flush();
         if (!out) {
             out.close();
-            std::filesystem::remove(temp);
+            std::filesystem::remove(temp, cleanup_ec);
             throw std::runtime_error("checkpoint: write failed for " + temp);
         }
     }
     std::error_code ec;
     std::filesystem::rename(temp, path, ec);
     if (ec) {
-        std::filesystem::remove(temp);
+        std::filesystem::remove(temp, cleanup_ec);
         throw std::runtime_error("checkpoint: cannot rename " + temp + " to " +
                                  path + ": " + ec.message());
     }

@@ -49,6 +49,7 @@
 #include "campaign/campaign_executor.hpp"
 #include "campaign/cost_model.hpp"
 #include "campaign/graph_cache.hpp"
+#include "campaign/orchestrator.hpp"
 #include "campaign/registry.hpp"
 #include "campaign/report.hpp"
 #include "campaign/spec.hpp"
@@ -69,6 +70,7 @@
 #include "util/csv.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
+#include "util/tempfile.hpp"
 #include "util/timer.hpp"
 
 #endif // DLB_DLB_HPP

@@ -76,6 +76,18 @@ void progress_meter::scenario_done(double predicted_cost, double wall_seconds,
     if (predicted_cost > 0.0) rates_.push_back(wall_seconds / predicted_cost);
 }
 
+void progress_meter::set_queue_view(std::int64_t queue_done,
+                                    std::int64_t queue_leased,
+                                    std::int64_t stolen, std::int64_t re_leased)
+{
+    const scoped_lock lock(mutex_);
+    queue_view_ = true;
+    queue_done_ = queue_done;
+    queue_leased_ = queue_leased;
+    queue_stolen_ = stolen;
+    queue_re_leased_ = re_leased;
+}
+
 void progress_meter::heartbeat_loop()
 {
     // Predicate loop in the locked scope rather than a wait_for lambda so
@@ -108,14 +120,31 @@ void progress_meter::print_line(std::ostream& out, bool final_line)
     // over the completed scenarios, extrapolated over the predicted cost
     // still outstanding. done_seconds_ (summed scenario runtimes) rather
     // than elapsed feeds the rate so parallel workers don't inflate it.
-    if (!final_line && done_cost_ > 0.0 && done_ > 0) {
-        const double rate = done_seconds_ / done_cost_;
-        const double remaining = std::max(0.0, total_cost_ - done_cost_);
-        // Outstanding cost burns down across however many workers kept the
-        // realized pace; scale by the observed concurrency.
-        const double concurrency =
-            elapsed > 0.0 ? std::max(1.0, done_seconds_ / elapsed) : 1.0;
-        line << "  eta=" << format_duration(rate * remaining / concurrency);
+    // A zero completed-cost denominator (every finished scenario predicted
+    // at zero cost, or all failures so far) has no rate to extrapolate —
+    // print `eta=?` rather than the inf/nan a raw division would produce.
+    if (!final_line && done_ > 0) {
+        if (done_cost_ > 0.0) {
+            const double rate = done_seconds_ / done_cost_;
+            const double remaining = std::max(0.0, total_cost_ - done_cost_);
+            // Outstanding cost burns down across however many workers kept
+            // the realized pace; scale by the observed concurrency.
+            const double concurrency =
+                elapsed > 0.0 ? std::max(1.0, done_seconds_ / elapsed) : 1.0;
+            line << "  eta="
+                 << format_duration(rate * remaining / concurrency);
+        } else {
+            line << "  eta=?";
+        }
+    }
+
+    // Lease-queue view: global completion across every worker, plus this
+    // worker's lease activity. The local counters above still describe what
+    // *this* process ran; the queue view is the sweep-wide truth.
+    if (queue_view_) {
+        line << "  queue: done=" << queue_done_ << "/" << total_scenarios_
+             << " leased=" << queue_leased_ << " stolen=" << queue_stolen_
+             << " re-leased=" << queue_re_leased_;
     }
 
     // Predicted-vs-actual residuals: the spread of per-scenario

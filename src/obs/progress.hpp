@@ -56,6 +56,14 @@ public:
     /// toward progress but not toward the rate fit.
     void scenario_done(double predicted_cost, double wall_seconds, bool failed);
 
+    /// Queue-wide counters for lease-mode runs (thread-safe). When set, the
+    /// heartbeat line appends a `queue:` view — scenarios completed across
+    /// *all* workers plus this worker's lease activity (stolen = scenarios
+    /// this worker completed after another holder leased them first,
+    /// re-leased = leases this worker took over from a dead/expired holder).
+    void set_queue_view(std::int64_t queue_done, std::int64_t queue_leased,
+                        std::int64_t stolen, std::int64_t re_leased);
+
 private:
     void heartbeat_loop();
     void print_line(std::ostream& out, bool final_line) DLB_REQUIRES(mutex_);
@@ -75,6 +83,12 @@ private:
     double done_seconds_ DLB_GUARDED_BY(mutex_) = 0.0;
     // Per-scenario residuals: actual seconds per predicted cost unit.
     std::vector<double> rates_ DLB_GUARDED_BY(mutex_);
+    // Lease-queue view (valid when queue_view_ is true).
+    bool queue_view_ DLB_GUARDED_BY(mutex_) = false;
+    std::int64_t queue_done_ DLB_GUARDED_BY(mutex_) = 0;
+    std::int64_t queue_leased_ DLB_GUARDED_BY(mutex_) = 0;
+    std::int64_t queue_stolen_ DLB_GUARDED_BY(mutex_) = 0;
+    std::int64_t queue_re_leased_ DLB_GUARDED_BY(mutex_) = 0;
 
     std::thread ticker_;
 };

@@ -218,6 +218,7 @@ time_series run_loop(Engine& engine, const experiment_config& config,
             snapshot.runner.ideal_basis = ideal_basis;
             snapshot.runner.ideal_stale = ideal_stale;
             write_checkpoint_file(config.checkpoint_path, snapshot);
+            if (config.after_checkpoint) config.after_checkpoint(t);
         }
 
         const auto load = engine.load();

@@ -5,6 +5,7 @@
 #define DLB_SIM_RUNNER_HPP
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -83,6 +84,12 @@ struct experiment_config {
     std::string checkpoint_path;
     std::uint64_t checkpoint_spec_hash = 0;
     std::int64_t checkpoint_scenario_index = 0;
+
+    /// Called after each checkpoint file lands on disk, with the round it
+    /// snapshots. Pure observability — the run is byte-identical with or
+    /// without it. Crash-recovery tests hang a kill-9 off this hook to die
+    /// at a point where a valid checkpoint provably exists.
+    std::function<void(std::int64_t)> after_checkpoint;
 
     /// Resume from a parsed snapshot instead of round 0. The checkpoint's
     /// seed, rng_version, rounding, policy, record_every, engine kind and

@@ -1,0 +1,44 @@
+// Atomic-save temp-file naming and crash-orphan cleanup.
+//
+// Every atomic writer in the tree (lambda sidecar, checkpoints, the
+// orchestrator's queue files) follows the same protocol: write
+// `<path>.tmp.<pid>.<serial>` next to the destination, then rename over it,
+// so readers only ever observe a complete old or new file. A process killed
+// between the write and the rename leaves the temp behind forever — it can
+// never *shadow* a real file (reads go to `path` only), but a long campaign
+// that crashes repeatedly strews orphans through checkpoint and queue
+// directories. sweep_stale_temp_files removes exactly those: names matching
+// the temp pattern whose embedded pid is no longer a live process. Temps of
+// live pids (a co-running shard mid-save) are never touched.
+#ifndef DLB_UTIL_TEMPFILE_HPP
+#define DLB_UTIL_TEMPFILE_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace dlb {
+
+/// Names a fresh temp file for an atomic save of `path`:
+/// `<path>.tmp.<pid>.<serial>`. The pid keeps concurrent processes off each
+/// other's temps; the process-wide serial keeps concurrent saves within one
+/// process apart. The pid is embedded so a later sweep can prove the writer
+/// is gone.
+std::string temp_path_for(const std::string& path);
+
+/// True when `name` (a bare filename) matches the atomic-save temp pattern
+/// `<base>.tmp.<pid>.<serial>`; `pid_out` (optional) receives the embedded
+/// pid.
+bool is_temp_file_name(const std::string& name, long* pid_out = nullptr);
+
+/// Removes temp files in `dir` whose embedded pid is not a live process
+/// (the writer died between write and rename). When `prefix` is non-empty,
+/// only names starting with it are considered — pass the destination
+/// filename to sweep one file's orphans without touching neighbours.
+/// Best-effort and never throws: a missing directory or an unremovable
+/// entry sweeps nothing. Returns the number of files removed.
+std::size_t sweep_stale_temp_files(const std::string& dir,
+                                   const std::string& prefix = {}) noexcept;
+
+} // namespace dlb
+
+#endif // DLB_UTIL_TEMPFILE_HPP

@@ -305,6 +305,33 @@ TEST(ShardSpec, ParseShardNotation)
     EXPECT_THROW(parse_shard("a/b"), std::invalid_argument);
 }
 
+// A bad shard token in a long launch script must point at the flag to fix
+// (the PR 5 full-token parsing contract), for every failure class: missing
+// slash, zero count, index at/past count, negative tokens, trailing junk.
+TEST(ShardSpec, ParseShardFailuresNameTheFlag)
+{
+    const auto message_of = [](const std::string& text) {
+        try {
+            parse_shard(text);
+        } catch (const std::invalid_argument& failure) {
+            return std::string(failure.what());
+        }
+        return std::string();
+    };
+    for (const std::string text :
+         {"0/0", "9/4", "4/4", "-1/2", "2/-4", "x/2", "1/y", "1/2/3", "1",
+          "1/", "/2", " ", "0x1/2", "1/2 extra"}) {
+        const std::string message = message_of(text);
+        EXPECT_FALSE(message.empty()) << "'" << text << "' was accepted";
+        EXPECT_NE(message.find("--shard"), std::string::npos)
+            << "'" << text << "' failed without naming the flag: " << message;
+    }
+    // Inner whitespace is trimmed (launch scripts line-wrap around the
+    // slash), full-token parsing still rejects embedded garbage.
+    EXPECT_EQ(parse_shard("1 / 4").index, 1);
+    EXPECT_EQ(parse_shard("1 / 4").count, 4);
+}
+
 TEST(ResourceReuse, WarmRunsAreByteIdenticalToColdRuns)
 {
     const campaign_spec spec = shard_spec();

@@ -5,7 +5,11 @@
 // lambda.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
@@ -219,6 +223,80 @@ TEST_F(LambdaSidecarTest, UnwritableSidecarReportsErrorWithoutFailingTheRun)
         << "a failed save must be reported, not swallowed";
     for (const auto& r : result.scenarios)
         EXPECT_TRUE(r.error.empty()) << r.error; // the run itself is intact
+}
+
+// A rename that fails at the end of the save (here: the destination is an
+// existing directory; in the field: a directory gone read-only mid-run)
+// must surface as an error naming the path — a silently swallowed rename
+// would quietly degrade the warm cache back to recompute — and must not
+// leave its temp file behind.
+TEST_F(LambdaSidecarTest, FailedRenameThrowsNamingThePathAndCleansItsTemp)
+{
+    const std::string blocked = path_ + ".as-dir";
+    std::filesystem::create_directories(blocked);
+    graph_cache cache;
+    cache.lambda("key", [] { return 0.5; });
+    try {
+        cache.save_lambda_sidecar(blocked);
+        FAIL() << "saving onto a directory must throw";
+    } catch (const std::runtime_error& failure) {
+        EXPECT_NE(std::string(failure.what()).find(blocked),
+                  std::string::npos)
+            << failure.what();
+    }
+    // The failed save's temp was removed; only the directory remains.
+    std::size_t leftovers = 0;
+    const auto parent = std::filesystem::path(blocked).parent_path();
+    for (const auto& entry : std::filesystem::directory_iterator(parent))
+        if (entry.path().filename().string().rfind(
+                std::filesystem::path(blocked).filename().string() + ".tmp.",
+                0) == 0)
+            ++leftovers;
+    EXPECT_EQ(leftovers, 0u);
+    std::filesystem::remove_all(blocked);
+}
+
+// A process killed between a save's write and rename leaves
+// `<sidecar>.tmp.<pid>.<n>` behind. The orphan can never shadow the real
+// sidecar (reads go to the real name only), and the next load sweeps it —
+// but only when its writer is provably dead: a live pid's temp is an
+// in-flight save and must survive.
+TEST_F(LambdaSidecarTest, CrashOrphanedTempIsSweptAndNeverShadowsTheSidecar)
+{
+    // A pid that provably no longer exists: fork a child that exits
+    // immediately and reap it.
+    const pid_t dead = ::fork();
+    ASSERT_GE(dead, 0);
+    if (dead == 0) ::_exit(0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(dead, &status, 0), dead);
+
+    {
+        std::ofstream out(path_, std::ios::trunc);
+        out << "# dlb lambda sidecar v1\nkey\t0.25\n";
+    }
+    const std::string orphan =
+        path_ + ".tmp." + std::to_string(static_cast<long>(dead)) + ".0";
+    const std::string in_flight =
+        path_ + ".tmp." + std::to_string(static_cast<long>(::getpid())) +
+        ".999999";
+    { std::ofstream out(orphan); out << "garbage from a killed save\n"; }
+    { std::ofstream out(in_flight); out << "live writer's half-save\n"; }
+
+    graph_cache cache;
+    // The load reads the real sidecar, not the orphan...
+    EXPECT_EQ(cache.load_lambda_sidecar(path_), 1u);
+    EXPECT_DOUBLE_EQ(cache.lambda("key", [] { return -1.0; }), 0.25);
+    // ...sweeps the dead writer's temp, and spares the live one's.
+    EXPECT_FALSE(std::filesystem::exists(orphan));
+    EXPECT_TRUE(std::filesystem::exists(in_flight));
+
+    // A later save is unaffected by ever having had orphans around.
+    cache.lambda("key2", [] { return 0.5; });
+    cache.save_lambda_sidecar(path_);
+    graph_cache reloaded;
+    EXPECT_EQ(reloaded.load_lambda_sidecar(path_), 2u);
+    std::remove(in_flight.c_str());
 }
 
 TEST_F(LambdaSidecarTest, MissingFileLoadsNothing)

@@ -2,15 +2,18 @@
 // deterministic metrics aggregation, session lifecycle, and run manifests.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/manifest.hpp"
 #include "obs/obs.hpp"
+#include "obs/progress.hpp"
 #include "sim/thread_pool.hpp"
 
 namespace dlb {
@@ -255,6 +258,68 @@ TEST(ObsSession, UnopenableTraceFileThrowsAndReleasesTheSessionSlot)
     ok.collect_metrics = true;
     EXPECT_NO_THROW(obs::session{ok});
     EXPECT_FALSE(obs::metrics_enabled());
+}
+
+// Runs a short-period meter, applies `setup` to it, lets the ticker print
+// a few heartbeats, and returns everything written after the meter is torn
+// down — the stream is only ever read once the ticker thread has joined,
+// so there is no reader/writer race on the ostringstream.
+template <class Setup>
+std::string heartbeat_lines_after(Setup setup)
+{
+    std::ostringstream out;
+    {
+        obs::progress_meter::options options;
+        options.period_seconds = 0.005;
+        options.out = &out;
+        obs::progress_meter meter(options, /*total_scenarios=*/12,
+                                  /*total_cost=*/100.0);
+        setup(meter);
+        // ~20 periods: several heartbeats land after setup's state did.
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return out.str();
+}
+
+// All-zero predicted cost (every completed scenario priced at zero, or
+// only failures so far) has no rate to extrapolate: the heartbeat must say
+// `eta=?`, never the inf/nan a raw done_seconds_/done_cost_ would print.
+TEST(ObsProgress, EtaIsQuestionMarkWhenCompletedCostIsZero)
+{
+    const std::string lines =
+        heartbeat_lines_after([](obs::progress_meter& meter) {
+            meter.scenario_done(/*predicted_cost=*/0.0, /*wall_seconds=*/0.5,
+                                /*failed=*/false);
+        });
+    EXPECT_NE(lines.find("eta=?"), std::string::npos) << lines;
+    EXPECT_EQ(lines.find("inf"), std::string::npos) << lines;
+    EXPECT_EQ(lines.find("nan"), std::string::npos) << lines;
+}
+
+// Before any completion there is no rate either — but there also must be
+// no eta field at all (nothing to extrapolate from), matching the
+// pre-guard behavior.
+TEST(ObsProgress, NoEtaBeforeFirstCompletion)
+{
+    const std::string lines = heartbeat_lines_after([](obs::progress_meter&) {
+    });
+    EXPECT_FALSE(lines.empty());
+    EXPECT_EQ(lines.find("eta="), std::string::npos) << lines;
+}
+
+// Queue-mode heartbeats append the sweep-wide view: global completions
+// against the campaign total plus this worker's lease activity.
+TEST(ObsProgress, QueueViewRendersInHeartbeat)
+{
+    const std::string lines =
+        heartbeat_lines_after([](obs::progress_meter& meter) {
+            meter.set_queue_view(/*queue_done=*/7, /*queue_leased=*/3,
+                                 /*stolen=*/1, /*re_leased=*/2);
+        });
+    EXPECT_NE(lines.find("queue: done=7/12"), std::string::npos) << lines;
+    EXPECT_NE(lines.find("leased=3"), std::string::npos) << lines;
+    EXPECT_NE(lines.find("stolen=1"), std::string::npos) << lines;
+    EXPECT_NE(lines.find("re-leased=2"), std::string::npos) << lines;
 }
 
 TEST(ObsHistogram, PowerOfTwoBucketsByBitWidth)

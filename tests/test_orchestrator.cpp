@@ -1,0 +1,261 @@
+// The fault-tolerant lease-queue orchestrator: any number of cooperating
+// workers drain one shared queue to a report byte-identical to the
+// unsharded run, a kill -9'd worker's lease is taken over and resumed from
+// its last checkpoint, and a queue directory can never be shared between
+// two different campaigns. The in-process multi-worker test doubles as the
+// TSan coverage for the lock/lease paths.
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/campaign_executor.hpp"
+#include "campaign/orchestrator.hpp"
+#include "campaign/report.hpp"
+#include "campaign/spec.hpp"
+
+namespace dlb {
+namespace {
+
+using namespace dlb::campaign;
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DLB_TEST_UNDER_TSAN 1
+#endif
+#endif
+#if !defined(DLB_TEST_UNDER_TSAN) && defined(__SANITIZE_THREAD__)
+#define DLB_TEST_UNDER_TSAN 1
+#endif
+
+// Long enough that the heaviest scenario writes several checkpoints,
+// varied enough to cross the lambda-cache and seed-dependence boundaries.
+campaign_spec queue_spec()
+{
+    campaign_spec spec;
+    spec.name = "queue-determinism";
+    spec.base.nodes = 36;
+    spec.base.rounds = 60;
+    spec.base.tokens_per_node = 50;
+    spec.axes["topology"] = {"torus", "random_regular"};
+    spec.axes["scheme"] = {"fos", "sos"};
+    spec.axes["seed"] = {"1", "2"};
+    return spec;
+}
+
+std::string csv_of(const campaign_result& result)
+{
+    std::ostringstream out;
+    write_csv(out, result);
+    return out.str();
+}
+
+std::string json_of(const campaign_result& result)
+{
+    std::ostringstream out;
+    write_json(out, result);
+    return out.str();
+}
+
+class OrchestratorTest : public ::testing::Test {
+protected:
+    std::string queue_ = ::testing::TempDir() + "dlb_orchestrator_queue";
+    std::string ckpt_ = ::testing::TempDir() + "dlb_orchestrator_ckpt";
+    void SetUp() override
+    {
+        std::filesystem::remove_all(queue_);
+        std::filesystem::remove_all(ckpt_);
+    }
+    void TearDown() override
+    {
+        std::filesystem::remove_all(queue_);
+        std::filesystem::remove_all(ckpt_);
+    }
+    campaign_options queue_options()
+    {
+        campaign_options options;
+        options.queue_dir = queue_;
+        options.lease_heartbeat_seconds = 0.05;
+        return options;
+    }
+};
+
+// Three workers inside one process (same flock/lease code paths as three
+// processes — every acquisition opens its own descriptor) drain the queue
+// concurrently; every worker's merged report is byte-identical to the
+// unsharded run's, and together they completed each scenario.
+TEST_F(OrchestratorTest, ThreeInProcessWorkersMatchUnshardedByteForByte)
+{
+    const campaign_spec spec = queue_spec();
+    const campaign_result baseline = run_campaign(spec, {});
+
+    std::vector<campaign_result> results(3);
+    {
+        std::vector<std::thread> workers;
+        for (auto& result : results)
+            workers.emplace_back([&, this] {
+                // Through run_campaign, covering the --queue routing.
+                result = run_campaign(spec, queue_options());
+            });
+        for (auto& worker : workers) worker.join();
+    }
+
+    std::int64_t completed = 0;
+    for (const campaign_result& result : results) {
+        EXPECT_TRUE(result.queue.queue_mode);
+        EXPECT_EQ(csv_of(result), csv_of(baseline));
+        EXPECT_EQ(json_of(result), json_of(baseline));
+        completed += result.queue.completed;
+    }
+    // Row files are written exactly once per scenario unless a re-lease
+    // raced a slow holder; with live workers there are no re-leases, so
+    // completions partition the expansion.
+    EXPECT_EQ(completed, static_cast<std::int64_t>(expand(spec).size()));
+    for (const campaign_result& result : results)
+        EXPECT_EQ(result.queue.re_leased, 0);
+}
+
+// The crash-recovery contract, end to end: a worker is kill -9'd right
+// after its first checkpoint lands, a second worker takes over the dead
+// holder's lease, resumes from that checkpoint, and the final report is
+// still byte-identical to the unsharded run.
+TEST_F(OrchestratorTest, Kill9WorkerIsReLeasedResumedAndBytesStayIdentical)
+{
+#ifdef DLB_TEST_UNDER_TSAN
+    // fork() of a TSan-instrumented multithreaded test binary is not
+    // reliable; the in-process worker test above covers the lock/lease
+    // paths under TSan, and this test runs in every plain configuration.
+    GTEST_SKIP() << "fork-based kill-9 test skipped under TSan";
+#else
+    const campaign_spec spec = queue_spec();
+    campaign_options options = queue_options();
+    options.checkpoint_every = 10;
+    options.checkpoint_dir = ckpt_;
+
+    const campaign_result baseline = run_campaign(spec, {});
+
+    const pid_t victim = ::fork();
+    ASSERT_GE(victim, 0);
+    if (victim == 0) {
+        // The child dies at a point where a valid checkpoint provably
+        // exists — the hook fires after the snapshot file has landed.
+        orchestrator_hooks hooks;
+        hooks.after_checkpoint = [](std::int64_t, std::int64_t) {
+            ::raise(SIGKILL);
+        };
+        run_queue_campaign(spec, options, hooks);
+        ::_exit(0); // unreachable: the first checkpoint kills the child
+    }
+    int status = 0;
+    ASSERT_EQ(::waitpid(victim, &status, 0), victim);
+    ASSERT_TRUE(WIFSIGNALED(status));
+    ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+    // The victim left its lease held and at least one snapshot behind.
+    std::size_t snapshots = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(ckpt_))
+        if (entry.path().extension() == ".ckpt") ++snapshots;
+    ASSERT_GE(snapshots, 1u);
+
+    // A surviving worker drains the queue: it must steal the dead holder's
+    // lease and resume it from the snapshot rather than recompute.
+    std::ostringstream progress;
+    options.progress = &progress;
+    const campaign_result merged = run_queue_campaign(spec, options);
+
+    EXPECT_GE(merged.queue.re_leased, 1);
+    EXPECT_GE(merged.queue.resumed, 1);
+    EXPECT_GE(merged.queue.stolen, 1);
+    EXPECT_NE(progress.str().find("(re-leased)"), std::string::npos)
+        << progress.str();
+    EXPECT_NE(progress.str().find("(resumed)"), std::string::npos)
+        << progress.str();
+
+    EXPECT_EQ(csv_of(merged), csv_of(baseline));
+    EXPECT_EQ(json_of(merged), json_of(baseline));
+#endif
+}
+
+// A queue directory is stamped with its campaign's identity; joining it
+// with a different campaign must fail up front, naming --queue, instead of
+// interleaving two sweeps' rows.
+TEST_F(OrchestratorTest, JoiningAQueueOfADifferentCampaignThrows)
+{
+    campaign_spec first = queue_spec();
+    first.base.rounds = 20;
+    first.axes.erase("scheme");
+    run_campaign(first, queue_options()); // creates + drains the queue
+
+    campaign_spec second = first;
+    second.base.tokens_per_node = 51; // different spec_hash, same count
+    try {
+        run_campaign(second, queue_options());
+        FAIL() << "a different campaign must be rejected";
+    } catch (const std::runtime_error& failure) {
+        EXPECT_NE(std::string(failure.what()).find("--queue"),
+                  std::string::npos)
+            << failure.what();
+        EXPECT_NE(std::string(failure.what()).find("spec_hash"),
+                  std::string::npos)
+            << failure.what();
+    }
+}
+
+// Completed queues are idempotent: a late (or repeated) worker finds every
+// row present, leases nothing, and still returns the full merged report.
+TEST_F(OrchestratorTest, RejoiningACompletedQueueReturnsTheMergedReport)
+{
+    campaign_spec spec = queue_spec();
+    spec.base.rounds = 20;
+    spec.axes.erase("scheme");
+    const campaign_result first = run_campaign(spec, queue_options());
+    const campaign_result again = run_campaign(spec, queue_options());
+    EXPECT_EQ(again.queue.completed, 0);
+    EXPECT_EQ(again.queue.leased, 0);
+    EXPECT_EQ(csv_of(again), csv_of(first));
+}
+
+TEST_F(OrchestratorTest, OptionConflictsThrowNamingTheFlags)
+{
+    const campaign_spec spec = queue_spec();
+
+    campaign_options sharded = queue_options();
+    sharded.shard_index = 1;
+    sharded.shard_count = 2;
+    EXPECT_THROW(run_queue_campaign(spec, sharded), std::invalid_argument);
+
+    campaign_options resumed = queue_options();
+    resumed.resume_path = "snapshot.ckpt";
+    EXPECT_THROW(run_queue_campaign(spec, resumed), std::invalid_argument);
+
+    campaign_options no_beat = queue_options();
+    no_beat.lease_heartbeat_seconds = 0.0;
+    EXPECT_THROW(run_queue_campaign(spec, no_beat), std::invalid_argument);
+
+    campaign_options no_expiry = queue_options();
+    no_expiry.lease_expiry_seconds = -1.0;
+    EXPECT_THROW(run_queue_campaign(spec, no_expiry), std::invalid_argument);
+
+    campaign_options half_ckpt = queue_options();
+    half_ckpt.checkpoint_every = 10; // without --checkpoint-dir
+    EXPECT_THROW(run_queue_campaign(spec, half_ckpt), std::invalid_argument);
+
+    campaign_options no_queue;
+    EXPECT_THROW(run_queue_campaign(spec, no_queue), std::invalid_argument);
+
+    // run_scenarios (programmatic campaigns) has no queue mode at all.
+    campaign_options queued = queue_options();
+    EXPECT_THROW(run_scenarios("adhoc", expand(spec), queued),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace dlb

@@ -1,12 +1,18 @@
-// Tests for CSV writer, CLI parser, and the monotonic timer.
+// Tests for CSV writer, CLI parser, the monotonic timer, and the
+// atomic-save temp-file helpers.
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/tempfile.hpp"
 #include "util/timer.hpp"
 
 namespace dlb {
@@ -266,6 +272,94 @@ TEST(Timer, StopwatchElapsedIsNonNegativeAndIncreases)
     EXPECT_GE(watch.milliseconds(), second * 1e3);
     watch.reset();
     EXPECT_LE(watch.seconds(), second + 1.0); // reset restarts from ~zero
+}
+
+// A pid guaranteed not to name a live process: fork a child that exits
+// immediately, reap it, and return its now-recycled-but-free pid.
+long provably_dead_pid()
+{
+    const pid_t child = ::fork();
+    EXPECT_GE(child, 0);
+    if (child == 0) ::_exit(0);
+    int status = 0;
+    EXPECT_EQ(::waitpid(child, &status, 0), child);
+    return static_cast<long>(child);
+}
+
+class TempfileTest : public ::testing::Test {
+protected:
+    std::string dir_ = ::testing::TempDir() + "dlb_tempfile_test";
+    void SetUp() override
+    {
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+    std::string touch(const std::string& name)
+    {
+        const std::string path = dir_ + "/" + name;
+        std::ofstream(path) << "x\n";
+        return path;
+    }
+};
+
+TEST_F(TempfileTest, TempPathEmbedsOwnPidAndRoundTripsTheParser)
+{
+    const std::string temp = temp_path_for(dir_ + "/report.csv");
+    // Next to the destination, and recognizably a temp of it.
+    EXPECT_EQ(temp.rfind(dir_ + "/report.csv.tmp.", 0), 0u) << temp;
+    long pid = 0;
+    EXPECT_TRUE(is_temp_file_name(
+        std::filesystem::path(temp).filename().string(), &pid));
+    EXPECT_EQ(pid, static_cast<long>(::getpid()));
+    // Successive temps for the same path never collide (distinct serials).
+    EXPECT_NE(temp, temp_path_for(dir_ + "/report.csv"));
+}
+
+TEST_F(TempfileTest, MalformedNamesAreNotTemps)
+{
+    EXPECT_FALSE(is_temp_file_name("report.csv"));
+    EXPECT_FALSE(is_temp_file_name("report.csv.tmp.12"));   // no serial
+    EXPECT_FALSE(is_temp_file_name("report.csv.tmp..3"));   // empty pid
+    EXPECT_FALSE(is_temp_file_name("report.csv.tmp.a.b"));  // non-numeric
+    EXPECT_FALSE(is_temp_file_name(".tmp.12.3"));           // empty base
+    EXPECT_TRUE(is_temp_file_name("report.csv.tmp.12.3"));
+}
+
+TEST_F(TempfileTest, SweepRemovesDeadPidTempsOnly)
+{
+    const long dead = provably_dead_pid();
+    const std::string orphan =
+        touch("a.csv.tmp." + std::to_string(dead) + ".0");
+    const std::string live = touch(
+        "a.csv.tmp." + std::to_string(static_cast<long>(::getpid())) + ".7");
+    const std::string real = touch("a.csv");
+    const std::string unrelated = touch("notes.txt");
+
+    EXPECT_EQ(sweep_stale_temp_files(dir_), 1u);
+    EXPECT_FALSE(std::filesystem::exists(orphan)); // dead writer: swept
+    EXPECT_TRUE(std::filesystem::exists(live));    // in-flight save: kept
+    EXPECT_TRUE(std::filesystem::exists(real));    // destination: kept
+    EXPECT_TRUE(std::filesystem::exists(unrelated));
+    EXPECT_EQ(sweep_stale_temp_files(dir_), 0u); // idempotent
+}
+
+TEST_F(TempfileTest, SweepPrefixFilterScopesToOneDestination)
+{
+    const long dead = provably_dead_pid();
+    const std::string mine =
+        touch("a.csv.tmp." + std::to_string(dead) + ".1");
+    const std::string other =
+        touch("b.csv.tmp." + std::to_string(dead) + ".2");
+
+    EXPECT_EQ(sweep_stale_temp_files(dir_, "a.csv"), 1u);
+    EXPECT_FALSE(std::filesystem::exists(mine));
+    EXPECT_TRUE(std::filesystem::exists(other)); // outside the prefix: kept
+}
+
+TEST_F(TempfileTest, SweepOfMissingDirectoryRemovesNothing)
+{
+    EXPECT_EQ(sweep_stale_temp_files(dir_ + "/does-not-exist"), 0u);
 }
 
 } // namespace
