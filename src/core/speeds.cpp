@@ -53,7 +53,7 @@ speed_profile speed_profile::bimodal(node_id n, double fast_fraction,
     // Deterministic sample: shuffle ids, take the prefix.
     std::vector<node_id> ids(static_cast<std::size_t>(n));
     std::iota(ids.begin(), ids.end(), 0);
-    xoshiro256ss rng{mix64(seed, 0xb1b0d41u)};
+    auto rng = tagged_rng(seed, 0xb1b0d41u);
     for (std::size_t i = ids.size(); i > 1; --i)
         std::swap(ids[i - 1], ids[rng.next_below(i)]);
     for (std::size_t i = 0; i < fast_count && i < ids.size(); ++i)
@@ -69,7 +69,7 @@ speed_profile speed_profile::zipf(node_id n, double exponent, double s_max,
     for (std::size_t rank = 0; rank < speeds.size(); ++rank)
         speeds[rank] =
             std::max(1.0, s_max / std::pow(static_cast<double>(rank + 1), exponent));
-    xoshiro256ss rng{mix64(seed, 0x21bfu)};
+    auto rng = tagged_rng(seed, 0x21bfu);
     for (std::size_t i = speeds.size(); i > 1; --i)
         std::swap(speeds[i - 1], speeds[rng.next_below(i)]);
     return from_vector(std::move(speeds));

@@ -180,7 +180,7 @@ graph make_random_regular_cm(node_id n, std::int32_t d, std::uint64_t seed)
     require(n >= 2 && d >= 1 && d < n, "make_random_regular_cm: need 1 <= d < n");
     require((static_cast<std::int64_t>(n) * d) % 2 == 0,
             "make_random_regular_cm: n*d must be even");
-    xoshiro256ss rng{mix64(seed, 0xc0417u)};
+    auto rng = tagged_rng(seed, 0xc0417u);
     return graph::from_edge_list_dedup(n, pair_stubs(n, d, rng));
 }
 
@@ -191,7 +191,7 @@ graph make_random_regular_exact(node_id n, std::int32_t d, std::uint64_t seed,
     require((static_cast<std::int64_t>(n) * d) % 2 == 0,
             "make_random_regular_exact: n*d must be even");
 
-    xoshiro256ss rng{mix64(seed, 0xe8ac7u)};
+    auto rng = tagged_rng(seed, 0xe8ac7u);
     for (int attempt = 0; attempt < max_restarts; ++attempt) {
         auto edges = pair_stubs(n, d, rng);
         const bool has_self_loop = std::any_of(
@@ -214,7 +214,7 @@ graph make_erdos_renyi(node_id n, double p, std::uint64_t seed)
 {
     require(n >= 2, "make_erdos_renyi: n >= 2");
     require(p >= 0.0 && p <= 1.0, "make_erdos_renyi: p in [0, 1]");
-    xoshiro256ss rng{mix64(seed, 0xe7d05u)};
+    auto rng = tagged_rng(seed, 0xe7d05u);
 
     // Geometric skipping over the lexicographic pair order: O(m) expected.
     std::vector<edge> edges;
@@ -254,7 +254,7 @@ graph make_random_geometric(node_id n, double radius, std::uint64_t seed,
     require(radius > 0.0, "make_random_geometric: radius > 0");
 
     const double side = std::sqrt(static_cast<double>(n));
-    xoshiro256ss rng{mix64(seed, 0x46606u)};
+    auto rng = tagged_rng(seed, 0x46606u);
 
     std::vector<double> xs(n), ys(n);
     for (node_id v = 0; v < n; ++v) {

@@ -64,7 +64,7 @@ lanczos_result lanczos_extreme_eigenvalues(
     std::vector<double> w(n);
 
     // Random deterministic start orthogonal to the deflated space.
-    xoshiro256ss rng{mix64(seed, n)};
+    auto rng = tagged_rng(seed, n);
     for (auto& entry : v) entry = rng.next_double() - 0.5;
     project_out(v, deflate);
     double v_norm = norm2(v);

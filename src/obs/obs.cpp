@@ -74,6 +74,7 @@ struct trace_writer {
 
     void open(const std::string& path) DLB_REQUIRES(trace_mutex)
     {
+        // dlb-analyzer: allow(atomic-write) streaming trace sink; a partial trace after a crash is the point
         out.open(path);
         if (!out)
             throw std::runtime_error("obs: cannot open trace file " + path);
@@ -259,6 +260,7 @@ session::session(session_options options) : options_(std::move(options))
             // Fail before the run, not after it, when the metrics file is
             // unwritable; the real dump happens in the destructor.
             if (!options_.metrics_path.empty()) {
+                // dlb-analyzer: allow(atomic-write) writability probe; the dtor dump rewrites it, nothing reads mid-run
                 std::ofstream probe(options_.metrics_path);
                 if (!probe)
                     throw std::runtime_error("obs: cannot open metrics file " +
@@ -287,6 +289,7 @@ session::~session()
     }
 
     if (!options_.metrics_path.empty()) {
+        // dlb-analyzer: allow(atomic-write) best-effort dump from a nonthrowing dtor; metrics are re-creatable
         std::ofstream out(options_.metrics_path);
         if (out) {
             for (const metric_value& m : snapshot_metrics()) {

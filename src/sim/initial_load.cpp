@@ -28,7 +28,7 @@ std::vector<std::int64_t> random_load(node_id n, std::int64_t total,
 {
     if (total < 0) throw std::invalid_argument("random_load: negative total");
     std::vector<std::int64_t> load(static_cast<std::size_t>(n), 0);
-    xoshiro256ss rng{mix64(seed, 0x10adu)};
+    auto rng = tagged_rng(seed, 0x10adu);
     for (std::int64_t token = 0; token < total; ++token)
         ++load[rng.next_below(static_cast<std::uint64_t>(n))];
     return load;
@@ -37,7 +37,7 @@ std::vector<std::int64_t> random_load(node_id n, std::int64_t total,
 std::vector<std::int64_t> uniform_range_load(node_id n, std::int64_t low,
                                              std::int64_t high, std::uint64_t seed)
 {
-    xoshiro256ss rng{mix64(seed, 0x4a11u)};
+    auto rng = tagged_rng(seed, 0x4a11u);
     return uniform_range_load(n, low, high, rng);
 }
 

@@ -41,6 +41,7 @@ void write_torus_load_pgm(const std::string& path, node_id width, node_id height
                           const render_options& options)
 {
     const auto pixels = render_torus_load(width, height, load, options);
+    // dlb-analyzer: allow(atomic-write) debug rendering artifact never read back by the pipeline
     std::ofstream out(path, std::ios::binary);
     if (!out) throw std::runtime_error("write_torus_load_pgm: cannot open " + path);
     out << "P5\n" << width << ' ' << height << "\n255\n";

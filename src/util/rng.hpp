@@ -162,6 +162,19 @@ inline xoshiro256ss stream_for(std::uint64_t seed, std::uint64_t node,
     return xoshiro256ss{mix64(seed, node + 1, round + 1)};
 }
 
+/// Derives a generator for structural randomness that is deliberately
+/// version-independent (graph wiring, initial load placement, speed
+/// assignment): the same seed must build the same topology whether the
+/// per-round draws use v1 streams or v2 counters, so these streams are
+/// derived from a purpose tag, not from (node, round). This is the only
+/// sanctioned way to seed a xoshiro generator outside this header — the
+/// contract analyzer (rng-contract) flags direct construction.
+inline xoshiro256ss tagged_rng(std::uint64_t seed, std::uint64_t tag,
+                               std::uint64_t extra = 0) noexcept
+{
+    return xoshiro256ss{mix64(seed, tag, extra)};
+}
+
 // ---- v2: stateless counter-based draws --------------------------------------
 //
 // Draw i of the v2 substream of (seed, node, round) is one splitmix64

@@ -1,0 +1,11 @@
+// Rule 1 allow: a reason-bearing annotation suppresses the finding.
+namespace std {
+class string { public: string(const char*); };
+class ofstream { public: explicit ofstream(const string& path); };
+} // namespace std
+
+void scratch_dump(const std::string& path)
+{
+    // dlb-analyzer: allow(atomic-write) local debugging scratch file, never read by the pipeline
+    std::ofstream out(path);
+}

@@ -1,0 +1,16 @@
+// Rule 1 positive: a persistence write that never touches the temp+rename
+// protocol.
+namespace std {
+class string { public: string(); string(const char*); };
+class ofstream {
+public:
+    explicit ofstream(const string& path);
+    ofstream& operator<<(const char*);
+};
+} // namespace std
+
+void dump_state(const std::string& path)
+{
+    std::ofstream out(path);  // analyze-expect: atomic-write
+    out << "state\n";
+}

@@ -1,0 +1,10 @@
+// Rule 1 positive: C-style write-mode fopen, same contract.
+using FILE = struct file_impl;
+extern "C" FILE* fopen(const char* path, const char* mode);
+extern "C" int fputs(const char* text, FILE* stream);
+
+void log_marker(const char* path)
+{
+    FILE* out = fopen(path, "w");  // analyze-expect: atomic-write
+    if (out) fputs("done\n", out);
+}

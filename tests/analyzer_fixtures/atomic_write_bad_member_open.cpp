@@ -1,0 +1,21 @@
+// Rule 1 positive, regression twin of src/util/csv.cpp: the stream is a data
+// member opened from a constructor init list, so the write site and the
+// member declaration are in different scopes.
+namespace std {
+class string { public: string(); string(const char*); };
+class ofstream {
+public:
+    ofstream();
+    explicit ofstream(const string& path);
+};
+} // namespace std
+
+struct row_sink {
+    std::ofstream out_;
+    explicit row_sink(const std::string& path);
+};
+
+row_sink::row_sink(const std::string& path)
+    : out_(path)  // analyze-expect: atomic-write
+{
+}

@@ -1,0 +1,12 @@
+// Rule 1 positive: raw open(2) with O_CREAT creates a file too.
+#define O_CREAT 0100
+#define O_WRONLY 01
+namespace std {
+class string { public: string(const char*); const char* c_str() const; };
+} // namespace std
+extern "C" int open(const char* path, int flags, int mode);
+
+int make_marker(const std::string& path)
+{
+    return open(path.c_str(), O_CREAT | O_WRONLY, 0644);  // analyze-expect: atomic-write
+}

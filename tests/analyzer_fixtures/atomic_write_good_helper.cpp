@@ -1,0 +1,18 @@
+// Rule 1 negative: the protocol entry is reached transitively, through a
+// helper — the analyzer walks the call graph, not just the enclosing
+// function's direct calls.
+namespace std {
+class string { public: string(); string(const char*); };
+class ofstream { public: explicit ofstream(const string& path); };
+} // namespace std
+namespace dlb { std::string temp_path_for(const std::string& path); }
+
+std::string stage_path(const std::string& path)
+{
+    return dlb::temp_path_for(path);
+}
+
+void save(const std::string& path)
+{
+    std::ofstream out(stage_path(path));
+}

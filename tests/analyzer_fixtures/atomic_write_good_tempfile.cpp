@@ -1,0 +1,20 @@
+// Rule 1 negative: the canonical protocol — stage to temp_path_for's name,
+// rename over the destination.
+namespace std {
+class string { public: string(); string(const char*); };
+class ofstream {
+public:
+    explicit ofstream(const string& path);
+    ofstream& operator<<(const string&);
+};
+} // namespace std
+namespace dlb { std::string temp_path_for(const std::string& path); }
+void rename_file(const std::string& from, const std::string& to);
+
+void save_report(const std::string& path, const std::string& body)
+{
+    const std::string temp = dlb::temp_path_for(path);
+    std::ofstream out(temp);
+    out << body;
+    rename_file(temp, path);
+}

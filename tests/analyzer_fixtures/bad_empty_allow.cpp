@@ -1,0 +1,12 @@
+// An allow annotation without a reason suppresses nothing for free: the
+// missing reason is itself reported.
+namespace std {
+class string { public: string(const char*); };
+class ofstream { public: explicit ofstream(const string& path); };
+} // namespace std
+
+void scratch_dump(const std::string& path)
+{
+    // dlb-analyzer: allow(atomic-write)
+    std::ofstream out(path);  // analyze-expect: empty-allow-reason
+}

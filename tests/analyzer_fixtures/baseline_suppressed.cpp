@@ -1,0 +1,11 @@
+// A baseline entry (see baseline.txt next to this fixture) suppresses a
+// pre-existing finding without touching the source.
+namespace std {
+class string { public: string(const char*); };
+class ofstream { public: explicit ofstream(const string& path); };
+} // namespace std
+
+void legacy_dump(const std::string& path)
+{
+    std::ofstream out(path);
+}

@@ -1,0 +1,18 @@
+// Rule 4 positive: std::accumulate into a captured double from a pool task
+// is the same hazard spelled differently.
+namespace std {
+using size_t = decltype(sizeof(0));
+template <class It, class T> T accumulate(It first, It last, T init);
+} // namespace std
+namespace executor {
+template <class F> void parallel_tasks(std::size_t count, F&& body);
+} // namespace executor
+
+double drain(const double* weight, std::size_t n)
+{
+    double total = 0.0;
+    executor::parallel_tasks(2, [&, weight, n](std::size_t task) {
+        total = std::accumulate(weight, weight + n, 0.0);  // analyze-expect: nondet-reduce
+    });
+    return total;
+}

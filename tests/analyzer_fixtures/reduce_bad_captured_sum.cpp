@@ -1,0 +1,15 @@
+// Rule 4 positive: += into a by-reference captured double inside a lambda
+// handed to the pool; the combine order varies with thread count.
+namespace std { using size_t = decltype(sizeof(0)); }
+namespace executor {
+template <class F> void parallel_for(std::size_t begin, std::size_t end, F&& body);
+} // namespace executor
+
+double total_weight(const double* weight, std::size_t n)
+{
+    double sum = 0.0;
+    executor::parallel_for(0, n, [&](std::size_t i) {
+        sum += weight[i];  // analyze-expect: nondet-reduce
+    });
+    return sum;
+}

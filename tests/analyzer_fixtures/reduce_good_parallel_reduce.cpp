@@ -1,0 +1,27 @@
+// Rule 4 negative: parallel_reduce's fixed-chunk ordered combine, plus a
+// value-capture elementwise lambda — both deterministic by construction.
+namespace std { using size_t = decltype(sizeof(0)); }
+namespace executor {
+template <class T, class M, class C>
+T parallel_reduce(std::size_t begin, std::size_t end, T init, M&& map, C&& combine);
+template <class F> void parallel_for(std::size_t begin, std::size_t end, F&& body);
+} // namespace executor
+
+double total_weight(const double* weight, std::size_t n)
+{
+    return executor::parallel_reduce(
+        std::size_t{0}, n, 0.0,
+        [weight](std::size_t lo, std::size_t hi) {
+            double part = 0.0;
+            for (std::size_t i = lo; i < hi; ++i) part += weight[i];
+            return part;
+        },
+        [](double a, double b) { return a + b; });
+}
+
+void scale(double* weight, std::size_t n, double factor)
+{
+    executor::parallel_for(std::size_t{0}, n, [=](std::size_t i) {
+        weight[i] *= factor;
+    });
+}

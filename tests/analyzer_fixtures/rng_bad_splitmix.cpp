@@ -1,0 +1,11 @@
+// Rule 3 positive: re-deriving a stream by hand — declaring the splitmix64
+// surface, finalizing with its magic increment, calling it — all outside
+// util/rng.hpp.
+using u64 = unsigned long long;
+auto splitmix64(u64& state) -> u64;  // analyze-expect: rng-contract
+
+u64 derive(u64 seed, u64 node)
+{
+    u64 word = seed + node * 0x9e3779b97f4a7c15ull;  // analyze-expect: rng-contract
+    return splitmix64(word);  // analyze-expect: rng-contract
+}

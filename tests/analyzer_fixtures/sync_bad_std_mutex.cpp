@@ -1,0 +1,17 @@
+// Rule 2 positive: raw std:: primitives outside util/sync.hpp lose the
+// thread-safety annotations the dlb:: wrappers carry.
+namespace std {
+class mutex { public: void lock(); void unlock(); };
+template <class M> class lock_guard { public: explicit lock_guard(M& m); };
+} // namespace std
+
+struct stats {
+    std::mutex guard;  // analyze-expect: sync-wrapper
+    long count = 0;
+};
+
+void bump(stats& s)
+{
+    std::lock_guard<std::mutex> hold(s.guard);  // analyze-expect: sync-wrapper
+    ++s.count;
+}

@@ -1,0 +1,9 @@
+// Rule 2 positive (completeness): a dlb::mutex member with no
+// DLB_GUARDED_BY association protects nothing the compiler can check.
+#define DLB_GUARDED_BY(x)
+namespace dlb { struct mutex {}; }
+
+struct counters {
+    dlb::mutex m_;  // analyze-expect: sync-wrapper
+    long total = 0;
+};

@@ -1,0 +1,9 @@
+// Rule 2 negative: every dlb::mutex member has a guarded field association.
+#define DLB_GUARDED_BY(x)
+namespace dlb { struct mutex {}; }
+
+struct counters {
+    dlb::mutex m_;
+    long total DLB_GUARDED_BY(m_) = 0;
+    long peak DLB_GUARDED_BY(m_) = 0;
+};

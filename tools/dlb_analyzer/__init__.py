@@ -1,0 +1,28 @@
+"""dlb contract analyzer: AST-level enforcement of the repo's determinism,
+persistence, and concurrency contracts.
+
+The regex linter (tools/determinism_lint.py) bans single-token hazards; this
+package enforces the contracts that need types, call graphs, and scopes:
+
+  atomic-write   file-creating writes must flow through util/tempfile's
+                 temp+rename protocol (call-graph reachability to
+                 temp_path_for from the enclosing function)
+  sync-wrapper   no raw std:: synchronization primitives outside
+                 util/sync.hpp, and every dlb::mutex data member must have a
+                 DLB_GUARDED_BY field association
+  rng-contract   no xoshiro construction, splitmix64 calls, or stream-
+                 derivation constants outside util/rng.hpp's dispatch surface
+  nondet-reduce  no floating-point accumulation into by-reference captured
+                 scalars inside lambdas handed to parallel_for/parallel_tasks
+                 (use executor::parallel_reduce's ordered combine)
+
+Two interchangeable frontends produce the same facts model:
+
+  frontend_clang  libclang (Python clang.cindex, pinned in CI) driven by
+                  compile_commands.json — the authoritative AST walk
+  frontend_lite   dependency-free structural parser (tokens + brace tree +
+                  function spans) so the gate also runs where libclang is
+                  not installed; ctest uses --frontend auto
+
+Run `python3 tools/dlb_analyzer --help` for the CLI.
+"""

@@ -1,0 +1,69 @@
+"""compile_commands.json discovery and per-TU argument extraction.
+
+The clang frontend parses each TU with its real compile arguments; the lite
+frontend only needs the file list. Either way the database (exported by the
+top-level CMakeLists via CMAKE_EXPORT_COMPILE_COMMANDS) is the single source
+of what counts as "every TU in src/".
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from pathlib import Path
+
+COMPDB_CANDIDATES = ("compile_commands.json", "build/compile_commands.json")
+
+# Flags libclang either rejects or has no use for when reparsing.
+DROP_FLAGS = {"-c", "-o", "--output"}
+
+
+def find_compdb(root: Path, explicit: str | None = None) -> Path | None:
+    if explicit:
+        p = Path(explicit)
+        return p if p.exists() else None
+    for cand in COMPDB_CANDIDATES:
+        p = root / cand
+        if p.exists():
+            return p
+    for p in sorted(root.glob("build*/compile_commands.json")):
+        return p
+    return None
+
+
+def load_compdb(path: Path) -> list[dict]:
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def tu_entries(path: Path, under: Path) -> list[tuple[Path, list[str]]]:
+    """(source, clang_args) for every TU whose file lives under `under`."""
+    out: list[tuple[Path, list[str]]] = []
+    for entry in load_compdb(path):
+        src = Path(entry["file"])
+        if not src.is_absolute():
+            src = Path(entry["directory"]) / src
+        src = src.resolve()
+        try:
+            src.relative_to(under.resolve())
+        except ValueError:
+            continue
+        if "arguments" in entry:
+            argv = list(entry["arguments"])
+        else:
+            argv = shlex.split(entry.get("command", ""))
+        args: list[str] = []
+        skip_next = False
+        for i, a in enumerate(argv):
+            if i == 0:  # the compiler itself
+                continue
+            if skip_next:
+                skip_next = False
+                continue
+            if a in DROP_FLAGS:
+                skip_next = a in {"-o", "--output"}
+                continue
+            if a == str(src) or a.endswith(entry["file"]):
+                continue
+            args.append(a)
+        out.append((src, args))
+    return out
